@@ -1,0 +1,11 @@
+"""E10 -- Lemmas 4-7: cell-assignment beta and combinatorial gate size."""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import experiment_cells_and_gates
+
+
+def test_e10_cells_and_gates(benchmark):
+    result = run_experiment(benchmark, experiment_cells_and_gates, grid_side=10)
+    assert result["max_skipped"] <= 2  # Definition 15 property (i)
+    assert result["beta"] <= result["num_parts"]

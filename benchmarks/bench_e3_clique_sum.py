@@ -1,0 +1,12 @@
+"""E3 -- Theorem 7: clique-sum composition and the heavy-light folding ablation."""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import experiment_clique_sum
+
+
+def test_e3_clique_sum_folding(benchmark):
+    result = run_experiment(benchmark, experiment_clique_sum, num_bags=10, bag_side=5, k=3)
+    assert result["decomposition_depth"] == 9  # deliberately path-shaped (worst case)
+    assert result["folded"]["quality"] > 0
+    assert result["unfolded"]["quality"] > 0

@@ -1,0 +1,14 @@
+"""E4 -- Lemma 9 / Theorem 8: apex graphs (wheel and grid+apex workloads)."""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import experiment_apex
+
+
+def test_e4_apex(benchmark):
+    result = run_experiment(benchmark, experiment_apex, cycle_size=64, grid_side=10)
+    wheel = result["wheel"]
+    # The apex collapses the diameter to 2 and the apex-aware shortcut tracks it.
+    assert wheel["diameter_with_apex"] == 2
+    assert wheel["apex_quality"] < wheel["naive_quality"]
+    assert result["grid_plus_apex"]["cell_assignment_max_skipped"] <= 2

@@ -1,0 +1,13 @@
+"""E5 -- Theorem 6: shortcut quality on sampled L_k graphs versus the O~(d^2) target."""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import experiment_minor_free_quality
+
+
+def test_e5_minor_free_quality(benchmark):
+    result = run_experiment(
+        benchmark, experiment_minor_free_quality, bag_counts=(3, 5, 7), bag_size=25
+    )
+    for row in result["rows"]:
+        assert row["quality"] <= 6 * row["target_quality"] + 30

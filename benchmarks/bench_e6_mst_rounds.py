@@ -1,0 +1,22 @@
+"""E6 -- Corollary 1: MST round counts on excluded-minor versus general graphs."""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import experiment_mst_rounds
+
+
+def test_e6_mst_rounds(benchmark):
+    result = run_experiment(
+        benchmark,
+        experiment_mst_rounds,
+        grid_side=10,
+        lower_bound_paths=8,
+        lower_bound_length=8,
+    )
+    planar = result["planar_plus_apex"]
+    assert planar["weight_matches_reference"]
+    # The excluded-minor instance finishes well under the sqrt(n) reference curve.
+    assert planar["accelerated_rounds"] < 20 * planar["general_graph_reference_sqrt_n"]
+    # On the wheel with adversarial weights (long skinny fragments, diameter 2)
+    # the shortcut-accelerated MST beats the naive baseline outright.
+    assert result["wheel_adversarial"]["accelerated_wins"]

@@ -1,0 +1,11 @@
+"""E7 -- Corollary 1: (1+eps)-approximate min-cut accuracy and round counts."""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import experiment_mincut
+
+
+def test_e7_mincut(benchmark):
+    result = run_experiment(benchmark, experiment_mincut, grid_side=8, epsilon=1.0)
+    assert result["approximation_ratio"] <= 1.0 + result["epsilon"] + 1e-9
+    assert result["rounds"] > 0

@@ -1,0 +1,12 @@
+"""E8 -- robustness: perturbed planar graphs remain excluded-minor-friendly."""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import experiment_robustness
+
+
+def test_e8_robustness(benchmark):
+    result = run_experiment(benchmark, experiment_robustness, grid_side=9, extra_edges=4)
+    # The perturbed graph is (typically) not planar, yet the apex/minor-free
+    # construction still produces a valid, reasonable-quality shortcut.
+    assert result["apex_quality"]["quality"] > 0

@@ -1,0 +1,13 @@
+"""E9 -- Lemma 2/3: treewidth of Genus+Vortex graphs scales with (g+1) k l D."""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import experiment_genus_vortex_treewidth
+
+
+def test_e9_genus_vortex_treewidth(benchmark):
+    result = run_experiment(
+        benchmark, experiment_genus_vortex_treewidth, sides=(5, 7, 9), genus=1, depth=2
+    )
+    for row in result["rows"]:
+        assert row["measured_width"] <= 4 * row["target_width"]

@@ -1,0 +1,11 @@
+"""F1 -- Figure 1: the apex / vortex / clique-sum ingredients as illustrated."""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import experiment_constructions
+
+
+def test_f1_constructions(benchmark):
+    result = run_experiment(benchmark, experiment_constructions)
+    assert result["almost_embeddable"]["vortex_internal_nodes"] > 0
+    assert result["clique_sum"]["shared_clique_size"] <= 3

@@ -1,0 +1,45 @@
+"""F2-F4 -- Figures 2-4: anatomy of the clique-sum shortcut construction.
+
+Instruments the local/global split of Theorem 7 on a path-shaped clique-sum:
+how many edges each part receives from the global versus the local step, and
+how much the heavy-light folding (Figure 4) compresses the decomposition tree.
+"""
+
+import json
+
+from repro.graphs.clique_sum import clique_sum_compose
+from repro.graphs.planar import grid_graph
+from repro.shortcuts.clique_sum import clique_sum_shortcut
+from repro.shortcuts.parts import tree_fragment_parts
+from repro.structure.heavy_light import fold_decomposition_tree, identity_folding
+from repro.structure.spanning import bfs_spanning_tree
+
+
+def _anatomy(num_bags: int = 12, bag_side: int = 4, k: int = 3, seed: int = 2024) -> dict:
+    components = [grid_graph(bag_side, bag_side) for _ in range(num_bags)]
+    decomposition = clique_sum_compose(components, k=k, seed=seed, tree_shape="path")
+    graph = decomposition.graph
+    tree = bfs_spanning_tree(graph)
+    parts = tree_fragment_parts(graph, tree, num_parts=12, seed=seed)
+    folded_view = fold_decomposition_tree(decomposition)
+    unfolded_view = identity_folding(decomposition)
+    folded = clique_sum_shortcut(graph, tree, parts, decomposition=decomposition, fold=True)
+    unfolded = clique_sum_shortcut(graph, tree, parts, decomposition=decomposition, fold=False)
+    return {
+        "experiment": "F2-clique-sum-anatomy",
+        "num_bags": num_bags,
+        "original_depth": decomposition.depth(root=0),
+        "folded_depth": folded_view.depth(),
+        "unfolded_depth": unfolded_view.depth(),
+        "folded_measure": folded.measure().as_row(),
+        "unfolded_measure": unfolded.measure().as_row(),
+        "folded_total_edges": sum(len(edges) for edges in folded.edge_sets),
+        "unfolded_total_edges": sum(len(edges) for edges in unfolded.edge_sets),
+    }
+
+
+def test_f2_clique_sum_anatomy(benchmark):
+    result = benchmark.pedantic(_anatomy, rounds=1, iterations=1)
+    print()
+    print(json.dumps(result, indent=2))
+    assert result["folded_depth"] < result["original_depth"]

@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark file regenerates one experiment of DESIGN.md Section 3 (one
+per "table/figure", i.e. per quantitative claim of the paper), runs it once
+under pytest-benchmark for timing, and prints the measured record so that the
+numbers quoted in EXPERIMENTS.md can be regenerated with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+
+def run_experiment(benchmark, function, **kwargs):
+    """Run ``function`` once under the benchmark fixture and print its record."""
+    result = benchmark.pedantic(lambda: function(**kwargs), rounds=1, iterations=1)
+    print()
+    print(json.dumps(result, indent=2, default=str))
+    return result

@@ -1,0 +1,163 @@
+"""Minimal in-tree PEP 517 / PEP 660 build backend.
+
+Why this exists: the reproduction is developed and evaluated in an offline
+environment whose ``setuptools`` installation predates built-in editable
+wheel support and which has no ``wheel`` package (and no network to fetch
+one).  ``pip install -e .`` would therefore fail with the standard setuptools
+backend.  This backend builds the (editable) wheel with nothing but the
+standard library, which is trivial for a pure-Python ``src``-layout package:
+
+* ``build_wheel``     zips ``src/repro`` plus the dist-info metadata;
+* ``build_editable``  ships a single ``.pth`` file pointing at ``src`` plus
+  the same metadata, which is the classic "path file" editable install.
+
+The backend intentionally supports only this one project; it reads the name
+and version from ``pyproject.toml`` so they are defined in exactly one place.
+"""
+
+from __future__ import annotations
+
+import base64
+import csv
+import hashlib
+import io
+import os
+import zipfile
+
+try:  # Python 3.11+
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - fallback for 3.10
+    tomllib = None
+
+_ROOT = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(_ROOT, "src")
+
+
+def _project_metadata() -> tuple[str, str, list[str]]:
+    """Return (name, version, dependencies) from pyproject.toml."""
+    path = os.path.join(_ROOT, "pyproject.toml")
+    if tomllib is not None:
+        with open(path, "rb") as handle:
+            data = tomllib.load(handle)
+        project = data.get("project", {})
+        return (
+            project.get("name", "repro"),
+            project.get("version", "0.0.0"),
+            list(project.get("dependencies", [])),
+        )
+    # Extremely defensive fallback: the values the project actually uses.
+    return "repro", "1.0.0", []
+
+
+def _record_hash(data: bytes) -> str:
+    digest = hashlib.sha256(data).digest()
+    return "sha256=" + base64.urlsafe_b64encode(digest).rstrip(b"=").decode("ascii")
+
+
+class _WheelWriter:
+    """Accumulates files for a wheel and writes the RECORD at the end."""
+
+    def __init__(self, path: str) -> None:
+        self._zip = zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED)
+        self._records: list[tuple[str, str, int]] = []
+
+    def add(self, arcname: str, data: bytes) -> None:
+        self._zip.writestr(arcname, data)
+        self._records.append((arcname, _record_hash(data), len(data)))
+
+    def finish(self, dist_info: str) -> None:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        for name, digest, size in self._records:
+            writer.writerow([name, digest, size])
+        writer.writerow([f"{dist_info}/RECORD", "", ""])
+        self._zip.writestr(f"{dist_info}/RECORD", buffer.getvalue())
+        self._zip.close()
+
+
+def _metadata_files(name: str, version: str, dependencies: list[str]) -> dict[str, bytes]:
+    metadata_lines = [
+        "Metadata-Version: 2.1",
+        f"Name: {name}",
+        f"Version: {version}",
+        "Summary: Reproduction of 'Minor Excluded Network Families Admit Fast "
+        "Distributed Algorithms' (PODC 2018)",
+        "Requires-Python: >=3.10",
+    ]
+    metadata_lines += [f"Requires-Dist: {dep}" for dep in dependencies]
+    wheel_lines = [
+        "Wheel-Version: 1.0",
+        "Generator: repro-inline-backend (1.0)",
+        "Root-Is-Purelib: true",
+        "Tag: py3-none-any",
+    ]
+    return {
+        "METADATA": ("\n".join(metadata_lines) + "\n").encode("utf-8"),
+        "WHEEL": ("\n".join(wheel_lines) + "\n").encode("utf-8"),
+        "top_level.txt": b"repro\n",
+    }
+
+
+def _wheel_name(name: str, version: str) -> str:
+    return f"{name}-{version}-py3-none-any.whl"
+
+
+def _write_wheel(wheel_directory: str, editable: bool) -> str:
+    name, version, dependencies = _project_metadata()
+    dist_info = f"{name}-{version}.dist-info"
+    filename = _wheel_name(name, version)
+    target = os.path.join(wheel_directory, filename)
+    writer = _WheelWriter(target)
+    if editable:
+        writer.add(f"__editable__.{name}.pth", (_SRC + "\n").encode("utf-8"))
+    else:
+        package_root = os.path.join(_SRC, name)
+        for directory, _dirs, files in sorted(os.walk(package_root)):
+            for file_name in sorted(files):
+                if file_name.endswith((".pyc", ".pyo")):
+                    continue
+                full = os.path.join(directory, file_name)
+                arcname = os.path.relpath(full, _SRC).replace(os.sep, "/")
+                with open(full, "rb") as handle:
+                    writer.add(arcname, handle.read())
+    for meta_name, data in _metadata_files(name, version, dependencies).items():
+        writer.add(f"{dist_info}/{meta_name}", data)
+    writer.finish(dist_info)
+    return filename
+
+
+# --- PEP 517 hooks -----------------------------------------------------------
+
+
+def get_requires_for_build_wheel(config_settings=None):  # noqa: D103 - PEP 517 API
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):  # noqa: D103 - PEP 660 API
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):  # noqa: D103 - PEP 517 API
+    return []
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):  # noqa: D103
+    return _write_wheel(wheel_directory, editable=False)
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):  # noqa: D103
+    return _write_wheel(wheel_directory, editable=True)
+
+
+def build_sdist(sdist_directory, config_settings=None):  # noqa: D103 - PEP 517 API
+    import tarfile
+
+    name, version, _ = _project_metadata()
+    base = f"{name}-{version}"
+    target = os.path.join(sdist_directory, base + ".tar.gz")
+    with tarfile.open(target, "w:gz") as archive:
+        for entry in ("pyproject.toml", "setup.py", "README.md", "build_backend.py", "src"):
+            full = os.path.join(_ROOT, entry)
+            if os.path.exists(full):
+                archive.add(full, arcname=os.path.join(base, entry))
+    return os.path.basename(target)

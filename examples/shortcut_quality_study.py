@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Shortcut-quality study across graph families (the paper's Table-of-theorems).
+
+Sweeps four families -- planar grids, bounded-treewidth graphs, planar+apex
+graphs and lower-bound-style general graphs -- measures the quality achieved
+by the baseline and structure-aware constructors on adversarial parts, and
+prints the comparison table together with fitted growth exponents.  This is
+the "who wins, by roughly what factor" picture behind Theorems 4, 5, 6 and
+the Omega~(sqrt n) contrast of the introduction.
+
+Run it with ``python examples/shortcut_quality_study.py``.
+"""
+
+from repro.analysis.quality import format_table, quality_sweep, summarize_rows
+from repro.graphs.lower_bound import lower_bound_graph
+from repro.graphs.minor_free import planar_plus_apex
+from repro.graphs.planar import grid_graph
+from repro.graphs.treewidth import random_partial_ktree
+from repro.shortcuts.parts import path_parts, tree_fragment_parts
+from repro.shortcuts.search import default_constructors
+from repro.structure.spanning import bfs_spanning_tree
+
+
+def build_instances():
+    instances = []
+    for side in (8, 12, 16):
+        graph = grid_graph(side, side)
+        instances.append((f"planar-grid-{side}", graph, path_parts(graph)))
+    for width in (2, 4):
+        witness = random_partial_ktree(60, width, seed=width)
+        tree = bfs_spanning_tree(witness.graph)
+        instances.append(
+            (f"treewidth-{width}", witness.graph, tree_fragment_parts(witness.graph, tree, 8, seed=1))
+        )
+    apex = planar_plus_apex(10, 10, apices=1, seed=5)
+    instances.append(("planar+apex", apex.graph, path_parts(apex.non_apex_graph())))
+    hard = lower_bound_graph(8, 16)
+    instances.append(("lower-bound", hard.graph, [frozenset(range(i * 16, (i + 1) * 16)) for i in range(8)]))
+    return instances
+
+
+def main() -> None:
+    instances = build_instances()
+    rows = quality_sweep(instances, default_constructors())
+    print(format_table(rows))
+    print()
+    summary = summarize_rows(rows)
+    for name, stats in sorted(summary.items()):
+        print(
+            f"{name:12s} mean quality={stats['mean_quality']:8.1f}  "
+            f"quality~d^alpha with alpha={stats['quality_vs_diameter_exponent']:.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

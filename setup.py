@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in offline environments whose setuptools lacks the
+PEP 660 editable-wheel machinery (it falls back to the classic
+``setup.py develop`` code path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,211 @@
+"""repro: reproduction of "Minor Excluded Network Families Admit Fast Distributed Algorithms".
+
+The package implements the PODC 2018 paper of Haeupler, Li and Zuzic end to
+end: the graph substrates of the Graph Structure Theorem (planar,
+bounded-genus, bounded-treewidth, apices, vortices, k-clique-sums), the
+low-congestion tree-restricted shortcut framework with one constructor per
+structural theorem of the paper, a synchronous CONGEST simulator, and the
+distributed MST and (1+eps)-approximate min-cut algorithms whose round
+counts the shortcuts accelerate.
+
+Quickstart::
+
+    import repro
+
+    sample = repro.sample_lk_graph(num_bags=4, k=3, bag_size=25, seed=1)
+    tree = repro.bfs_spanning_tree(sample.graph)
+    parts = repro.tree_fragment_parts(sample.graph, tree, num_parts=8, seed=2)
+    shortcut = repro.minor_free_shortcut(sample, tree, parts)
+    print(shortcut.measure())                       # block / congestion / quality
+
+    repro.assign_random_weights(sample.graph, seed=3)
+    result = repro.boruvka_mst(sample.graph)
+    print(result.weight, result.rounds)
+
+See DESIGN.md for the paper-to-module map and EXPERIMENTS.md for the
+reproduced results.
+"""
+
+from .errors import (
+    ConvergenceError,
+    InvalidDecompositionError,
+    InvalidGraphError,
+    InvalidPartitionError,
+    InvalidShortcutError,
+    ReproError,
+    SimulationError,
+)
+from .graphs import (
+    AlmostEmbeddableGraph,
+    Bag,
+    CliqueSumDecomposition,
+    GenusGraph,
+    MinorFreeGraph,
+    VortexWitness,
+    add_apices,
+    add_vortex,
+    assign_adversarial_weights,
+    assign_random_weights,
+    assign_unit_weights,
+    build_almost_embeddable,
+    clique_sum_compose,
+    cycle_graph,
+    excludes_minor,
+    genus_grid,
+    grid_graph,
+    has_minor,
+    is_planar,
+    lower_bound_graph,
+    planar_plus_apex,
+    random_delaunay_triangulation,
+    random_ktree,
+    random_outerplanar_graph,
+    random_partial_ktree,
+    random_series_parallel_graph,
+    sample_lk_graph,
+    toroidal_grid,
+    wheel_graph,
+)
+from .structure import (
+    CellAssignment,
+    CellPartition,
+    RootedTree,
+    TreeDecomposition,
+    bfs_spanning_tree,
+    cells_from_tree_without_apices,
+    compute_cell_assignment,
+    fold_decomposition_tree,
+    genus_vortex_decomposition,
+    graph_diameter,
+    greedy_tree_decomposition,
+    heavy_light_chains,
+)
+from .shortcuts import (
+    Shortcut,
+    ShortcutQuality,
+    apex_shortcut,
+    best_shortcut,
+    boruvka_parts,
+    clique_sum_shortcut,
+    congestion_capped_shortcut,
+    empty_shortcut,
+    genus_vortex_shortcut,
+    measure_constructors,
+    minor_free_shortcut,
+    oblivious_shortcut,
+    path_parts,
+    planar_shortcut,
+    random_connected_parts,
+    steiner_shortcut,
+    tree_fragment_parts,
+    treewidth_shortcut,
+    validate_parts,
+    whole_tree_shortcut,
+)
+from .congest import (
+    CongestSimulator,
+    NodeContext,
+    NodeProgram,
+    SimulationResult,
+    distributed_bfs_tree,
+    flood_max_id,
+    partwise_aggregate,
+)
+from .algorithms import (
+    MinCutResult,
+    MstResult,
+    approximate_min_cut,
+    boruvka_mst,
+    exact_min_cut,
+    gkp_reference_rounds,
+    no_shortcut_builder,
+    reference_mst_weight,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlmostEmbeddableGraph",
+    "Bag",
+    "CellAssignment",
+    "CellPartition",
+    "CliqueSumDecomposition",
+    "CongestSimulator",
+    "ConvergenceError",
+    "GenusGraph",
+    "InvalidDecompositionError",
+    "InvalidGraphError",
+    "InvalidPartitionError",
+    "InvalidShortcutError",
+    "MinCutResult",
+    "MinorFreeGraph",
+    "MstResult",
+    "NodeContext",
+    "NodeProgram",
+    "ReproError",
+    "RootedTree",
+    "Shortcut",
+    "ShortcutQuality",
+    "SimulationError",
+    "SimulationResult",
+    "TreeDecomposition",
+    "VortexWitness",
+    "add_apices",
+    "add_vortex",
+    "apex_shortcut",
+    "approximate_min_cut",
+    "assign_adversarial_weights",
+    "assign_random_weights",
+    "assign_unit_weights",
+    "best_shortcut",
+    "bfs_spanning_tree",
+    "boruvka_mst",
+    "boruvka_parts",
+    "build_almost_embeddable",
+    "cells_from_tree_without_apices",
+    "clique_sum_compose",
+    "clique_sum_shortcut",
+    "compute_cell_assignment",
+    "congestion_capped_shortcut",
+    "cycle_graph",
+    "distributed_bfs_tree",
+    "empty_shortcut",
+    "exact_min_cut",
+    "excludes_minor",
+    "flood_max_id",
+    "fold_decomposition_tree",
+    "genus_grid",
+    "genus_vortex_decomposition",
+    "genus_vortex_shortcut",
+    "gkp_reference_rounds",
+    "graph_diameter",
+    "greedy_tree_decomposition",
+    "grid_graph",
+    "has_minor",
+    "heavy_light_chains",
+    "is_planar",
+    "lower_bound_graph",
+    "measure_constructors",
+    "minor_free_shortcut",
+    "no_shortcut_builder",
+    "oblivious_shortcut",
+    "partwise_aggregate",
+    "path_parts",
+    "planar_plus_apex",
+    "planar_shortcut",
+    "random_connected_parts",
+    "random_delaunay_triangulation",
+    "random_ktree",
+    "random_outerplanar_graph",
+    "random_partial_ktree",
+    "random_series_parallel_graph",
+    "reference_mst_weight",
+    "sample_lk_graph",
+    "steiner_shortcut",
+    "toroidal_grid",
+    "tree_fragment_parts",
+    "treewidth_shortcut",
+    "validate_parts",
+    "wheel_graph",
+    "whole_tree_shortcut",
+]

@@ -1,0 +1,141 @@
+"""Quality sweeps and growth-rate fitting helpers."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+import math
+
+import networkx as nx
+import numpy as np
+
+from ..shortcuts.search import Constructor, measure_constructors
+from ..shortcuts.shortcut import ShortcutQuality
+from ..structure.spanning import bfs_spanning_tree, graph_diameter
+
+
+@dataclass
+class QualityRow:
+    """One row of a quality table: an instance plus one constructor's measurement.
+
+    Attributes:
+        family: name of the graph family ("planar-grid", "L_k", ...).
+        constructor: name of the shortcut constructor.
+        num_nodes, num_edges, diameter, tree_diameter, num_parts: instance stats.
+        block, congestion, quality: measured shortcut parameters.
+        target: the paper's asymptotic target for this quantity, if any.
+    """
+
+    family: str
+    constructor: str
+    num_nodes: int
+    num_edges: int
+    diameter: int
+    tree_diameter: int
+    num_parts: int
+    block: int
+    congestion: int
+    quality: int
+    target: float | None = None
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def quality_sweep(
+    instances: Iterable[tuple[str, nx.Graph, Sequence[frozenset]]],
+    constructors: Mapping[str, Constructor],
+    targets: Callable[[str, int, int], dict[str, float]] | None = None,
+) -> list[QualityRow]:
+    """Measure every constructor on every instance; return one row per pair.
+
+    Args:
+        instances: iterable of ``(family, graph, parts)`` triples.
+        constructors: name -> constructor mapping.
+        targets: optional callback ``(constructor_name, tree_diameter, n) ->
+            {"quality": float}`` providing the paper's target for annotation.
+    """
+    rows: list[QualityRow] = []
+    for family, graph, parts in instances:
+        tree = bfs_spanning_tree(graph)
+        diameter = graph_diameter(graph)
+        tree_diameter = tree.diameter()
+        measures = measure_constructors(graph, parts, constructors, tree=tree)
+        for name, quality in measures.items():
+            target = None
+            if targets is not None:
+                target = targets(name, tree_diameter, graph.number_of_nodes()).get("quality")
+            rows.append(
+                QualityRow(
+                    family=family,
+                    constructor=name,
+                    num_nodes=graph.number_of_nodes(),
+                    num_edges=graph.number_of_edges(),
+                    diameter=diameter,
+                    tree_diameter=tree_diameter,
+                    num_parts=len(parts),
+                    block=quality.block,
+                    congestion=quality.congestion,
+                    quality=quality.quality,
+                    target=target,
+                )
+            )
+    return rows
+
+
+def fit_growth_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Fit ``y ~ x^alpha`` by least squares on log-log scale and return alpha.
+
+    Used to check statements like "quality grows roughly like d^2 on
+    excluded-minor inputs but like sqrt(n) on the lower-bound instance": the
+    experiments report the fitted exponent next to the claim.
+    """
+    xs_arr = np.asarray(xs, dtype=float)
+    ys_arr = np.asarray(ys, dtype=float)
+    mask = (xs_arr > 0) & (ys_arr > 0)
+    if mask.sum() < 2:
+        return float("nan")
+    slope, _intercept = np.polyfit(np.log(xs_arr[mask]), np.log(ys_arr[mask]), 1)
+    return float(slope)
+
+
+def summarize_rows(rows: Sequence[QualityRow]) -> dict[str, dict[str, float]]:
+    """Aggregate rows by constructor: mean block/congestion/quality and the fit.
+
+    Returns a mapping ``constructor -> summary`` where the summary includes
+    the fitted exponent of quality versus tree diameter across the sweep.
+    """
+    by_constructor: dict[str, list[QualityRow]] = {}
+    for row in rows:
+        by_constructor.setdefault(row.constructor, []).append(row)
+    summary: dict[str, dict[str, float]] = {}
+    for name, group in by_constructor.items():
+        diameters = [row.tree_diameter for row in group]
+        qualities = [row.quality for row in group]
+        summary[name] = {
+            "mean_block": float(np.mean([row.block for row in group])),
+            "mean_congestion": float(np.mean([row.congestion for row in group])),
+            "mean_quality": float(np.mean(qualities)),
+            "max_quality": float(np.max(qualities)),
+            "quality_vs_diameter_exponent": fit_growth_exponent(diameters, qualities),
+            "rows": float(len(group)),
+        }
+    return summary
+
+
+def format_table(rows: Sequence[QualityRow]) -> str:
+    """Render rows as a fixed-width text table (what the bench targets print)."""
+    header = (
+        f"{'family':<18} {'constructor':<22} {'n':>5} {'D':>4} {'dT':>4} "
+        f"{'parts':>5} {'block':>6} {'cong':>6} {'quality':>8} {'target':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        target = f"{row.target:10.1f}" if row.target is not None else f"{'-':>10}"
+        lines.append(
+            f"{row.family:<18} {row.constructor:<22} {row.num_nodes:>5} {row.diameter:>4} "
+            f"{row.tree_diameter:>4} {row.num_parts:>5} {row.block:>6} {row.congestion:>6} "
+            f"{row.quality:>8} {target}"
+        )
+    return "\n".join(lines)

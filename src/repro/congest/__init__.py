@@ -1,0 +1,37 @@
+"""A synchronous CONGEST-model simulator (Section 1.3.1 of the paper).
+
+The CONGEST model: communication proceeds in synchronous rounds; in every
+round each node may send one ``O(log n)``-bit message to each of its
+neighbours; local computation is free; nodes initially know only their own
+neighbourhood (plus ``n`` and ``D`` up to constants).
+
+Two levels of simulation are provided:
+
+* :mod:`repro.congest.simulator` runs genuine per-node message-passing
+  programs (:class:`repro.congest.node.NodeProgram`) round by round with
+  bandwidth enforcement -- used for the basic primitives (BFS tree
+  construction, flooding, convergecast) and for tests that pin down the
+  model's semantics;
+* :mod:`repro.congest.aggregation` simulates the *part-wise aggregation*
+  primitive of the shortcut framework at the message-schedule level: every
+  part aggregates over ``G[P_i] + H_i`` and edges shared by several parts
+  deliver one message per round per direction, so the measured round count
+  directly reflects the congestion + dilation of the shortcut.  This is the
+  primitive Theorem 1 invokes ``O(log n)`` times per Boruvka phase.
+"""
+
+from .node import NodeContext, NodeProgram
+from .simulator import CongestSimulator, SimulationResult
+from .primitives import distributed_bfs_tree, flood_max_id
+from .aggregation import AggregationResult, partwise_aggregate
+
+__all__ = [
+    "AggregationResult",
+    "CongestSimulator",
+    "NodeContext",
+    "NodeProgram",
+    "SimulationResult",
+    "distributed_bfs_tree",
+    "flood_max_id",
+    "partwise_aggregate",
+]

@@ -1,0 +1,94 @@
+"""Node programs for the CONGEST simulator.
+
+A :class:`NodeProgram` is the code running at a single network node.  The
+simulator drives it through rounds: at the start of every round it receives
+the messages its neighbours sent in the previous round and returns the
+messages (at most one per neighbour, each at most ``bandwidth_words`` machine
+words) it wants to send this round.  A node that has nothing left to do
+declares itself halted; the simulation ends when every node has halted and no
+messages are in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping
+
+
+@dataclass(frozen=True)
+class NodeContext:
+    """Static information a node knows at the start of the computation.
+
+    Matching the model assumptions in Section 1.3.1, a node knows its own
+    identifier, its incident edges (with weights), and the global parameters
+    ``n`` and an upper bound on the diameter ``D`` (the paper notes these can
+    be computed in ``O(D)`` rounds if unknown, which is negligible).
+    """
+
+    node: Hashable
+    neighbours: tuple[Hashable, ...]
+    edge_weights: Mapping[Hashable, float]
+    num_nodes: int
+    diameter_bound: int
+
+
+class NodeProgram:
+    """Base class for per-node CONGEST programs.
+
+    Subclasses override :meth:`on_round`; the default implementation halts
+    immediately.  Programs communicate *only* through the returned message
+    dict -- the simulator enforces that messages go to genuine neighbours and
+    respect the bandwidth limit.
+    """
+
+    def __init__(self, context: NodeContext) -> None:
+        self.context = context
+        self.halted = False
+
+    def on_start(self) -> dict[Hashable, object]:
+        """Return the messages to send in round 1 (before anything is received)."""
+        return {}
+
+    def on_round(self, round_number: int, inbox: dict[Hashable, object]) -> dict[Hashable, object]:
+        """Process the messages received this round; return messages to send.
+
+        Args:
+            round_number: 1-based round counter.
+            inbox: mapping neighbour -> message for every message received.
+
+        Returns:
+            Mapping neighbour -> message to send this round (may be empty).
+        """
+        self.halted = True
+        return {}
+
+    def result(self) -> object:
+        """Return this node's final output (algorithm specific)."""
+        return None
+
+
+def message_size_in_words(message: object) -> int:
+    """Return the size of a message in machine words (CONGEST accounting).
+
+    A "word" is ``O(log n)`` bits: a node identifier, an edge weight, or a
+    small integer each count as one word.  Tuples and lists count the sum of
+    their elements; strings count one word per ``8`` characters (they are
+    only used for small tags).  The simulator rejects messages larger than
+    its per-edge bandwidth.
+    """
+    if message is None:
+        return 0
+    if isinstance(message, (int, float, bool)):
+        return 1
+    if isinstance(message, str):
+        return max(1, (len(message) + 7) // 8)
+    if isinstance(message, (tuple, list)):
+        return sum(message_size_in_words(item) for item in message)
+    if isinstance(message, dict):
+        return sum(
+            message_size_in_words(key) + message_size_in_words(value)
+            for key, value in message.items()
+        )
+    # Anything else is treated as a single opaque word; programs in this
+    # package only ever send numbers, ids and small tuples.
+    return 1

@@ -1,0 +1,143 @@
+"""The synchronous round-driving loop of the CONGEST simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+import networkx as nx
+
+from ..errors import SimulationError
+from ..graphs.weights import WEIGHT
+from ..utils import require_connected, require_simple
+from .node import NodeContext, NodeProgram, message_size_in_words
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated execution.
+
+    Attributes:
+        rounds: number of synchronous rounds executed (a round in which no
+            message is sent and every node is halted is not counted).
+        messages: total number of (non-``None``) messages delivered.
+        words: total message volume in machine words.
+        outputs: mapping node -> whatever the node's program returned from
+            :meth:`NodeProgram.result`.
+    """
+
+    rounds: int
+    messages: int
+    words: int
+    outputs: dict[Hashable, object] = field(default_factory=dict)
+
+
+class CongestSimulator:
+    """Synchronous message-passing simulator with bandwidth enforcement.
+
+    Args:
+        graph: the network graph (connected, no self-loops).  Edge weights
+            are exposed to the node programs through their context.
+        program_factory: callable mapping a :class:`NodeContext` to the
+            :class:`NodeProgram` that runs at that node.
+        bandwidth_words: per-edge, per-direction, per-round message capacity
+            in machine words (``O(log n)`` bits; 3 words is enough for an
+            edge id plus a weight, matching the classical model).
+        diameter_bound: optional diameter bound handed to the nodes; computed
+            exactly when omitted.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        program_factory: Callable[[NodeContext], NodeProgram],
+        bandwidth_words: int = 3,
+        diameter_bound: int | None = None,
+    ) -> None:
+        require_connected(graph, "network graph")
+        require_simple(graph, "network graph")
+        self.graph = graph
+        self.bandwidth_words = bandwidth_words
+        if diameter_bound is None:
+            diameter_bound = nx.diameter(graph) if graph.number_of_nodes() > 1 else 0
+        self.diameter_bound = diameter_bound
+        self.programs: dict[Hashable, NodeProgram] = {}
+        n = graph.number_of_nodes()
+        for node in sorted(graph.nodes(), key=repr):
+            neighbours = tuple(sorted(graph.neighbors(node), key=repr))
+            weights = {
+                neighbour: graph[node][neighbour].get(WEIGHT, 1.0) for neighbour in neighbours
+            }
+            context = NodeContext(
+                node=node,
+                neighbours=neighbours,
+                edge_weights=weights,
+                num_nodes=n,
+                diameter_bound=diameter_bound,
+            )
+            self.programs[node] = program_factory(context)
+
+    def _validate_outgoing(self, sender: Hashable, outgoing: dict[Hashable, object]) -> None:
+        for target, message in outgoing.items():
+            if not self.graph.has_edge(sender, target):
+                raise SimulationError(
+                    f"node {sender} attempted to send to non-neighbour {target}"
+                )
+            size = message_size_in_words(message)
+            if size > self.bandwidth_words:
+                raise SimulationError(
+                    f"node {sender} sent a {size}-word message to {target}, exceeding the "
+                    f"bandwidth of {self.bandwidth_words} words per edge per round"
+                )
+
+    def run(self, max_rounds: int = 10_000) -> SimulationResult:
+        """Run the simulation to quiescence (all halted, no messages in flight)."""
+        inboxes: dict[Hashable, dict[Hashable, object]] = {node: {} for node in self.programs}
+        # Round 1: on_start messages.
+        pending: dict[Hashable, dict[Hashable, object]] = {node: {} for node in self.programs}
+        total_messages = 0
+        total_words = 0
+        any_sent = False
+        for node, program in self.programs.items():
+            outgoing = program.on_start() or {}
+            self._validate_outgoing(node, outgoing)
+            for target, message in outgoing.items():
+                if message is None:
+                    continue
+                pending[target][node] = message
+                total_messages += 1
+                total_words += message_size_in_words(message)
+                any_sent = True
+        rounds = 1 if any_sent else 0
+
+        for round_number in range(2, max_rounds + 2):
+            inboxes = pending
+            pending = {node: {} for node in self.programs}
+            all_halted = all(program.halted for program in self.programs.values())
+            any_inbox = any(inboxes[node] for node in self.programs)
+            if all_halted and not any_inbox:
+                break
+            any_sent = False
+            for node, program in self.programs.items():
+                inbox = inboxes[node]
+                if program.halted and not inbox:
+                    continue
+                outgoing = program.on_round(round_number, inbox) or {}
+                self._validate_outgoing(node, outgoing)
+                for target, message in outgoing.items():
+                    if message is None:
+                        continue
+                    pending[target][node] = message
+                    total_messages += 1
+                    total_words += message_size_in_words(message)
+                    any_sent = True
+            rounds += 1
+            if not any_sent and all(program.halted for program in self.programs.values()):
+                break
+        else:
+            raise SimulationError(f"simulation did not converge within {max_rounds} rounds")
+
+        outputs = {node: program.result() for node, program in self.programs.items()}
+        return SimulationResult(
+            rounds=rounds, messages=total_messages, words=total_words, outputs=outputs
+        )

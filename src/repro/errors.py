@@ -1,0 +1,56 @@
+"""Exception types used across the :mod:`repro` package.
+
+Keeping a small, explicit exception hierarchy makes it easy for callers to
+distinguish between *user errors* (invalid arguments, malformed structures)
+and *internal invariant violations* (a constructor produced an object that
+fails its own validation), which the test-suite treats very differently.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by the :mod:`repro` package."""
+
+
+class InvalidGraphError(ReproError):
+    """An input graph does not satisfy the preconditions of an operation.
+
+    Examples: a disconnected graph passed to a diameter-based construction,
+    a non-planar graph passed to a planar-only shortcut constructor, or a
+    graph with self-loops passed to the CONGEST network.
+    """
+
+
+class InvalidPartitionError(ReproError):
+    """A partition into parts or cells violates Definition 9 / 14.
+
+    Raised when the claimed parts are not pairwise disjoint, not connected
+    in the host graph, or refer to vertices outside the graph.
+    """
+
+
+class InvalidDecompositionError(ReproError):
+    """A tree / clique-sum decomposition violates its defining axioms.
+
+    Used both for treewidth decompositions (coverage, edge coverage,
+    connectivity of occurrence sets) and for clique-sum decomposition trees
+    (Definition 8 of the paper).
+    """
+
+
+class InvalidShortcutError(ReproError):
+    """A shortcut object violates Definition 10 (T-restriction) or refers
+    to edges/vertices that do not exist in the host graph."""
+
+
+class SimulationError(ReproError):
+    """The CONGEST simulator detected an inconsistent or illegal state.
+
+    Examples: a node program sending a message to a non-neighbour, a message
+    exceeding the per-round bandwidth, or the round limit being exceeded.
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to converge within its round/step budget."""

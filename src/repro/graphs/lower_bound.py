@@ -1,0 +1,120 @@
+"""The Omega~(sqrt n) lower-bound style graph used as the hard baseline instance.
+
+Das Sarma et al. [SHK+12] (and earlier Elkin [Elk06]) prove that MST,
+min-cut and related problems require ``Omega~(sqrt n + D)`` rounds in CONGEST
+even on graphs of very small diameter.  Their hard instances have a common
+shape: many long vertex-disjoint paths, bridged by a shallow tree that keeps
+the diameter tiny while forcing any part-wise aggregation to squeeze
+information through a narrow "waist".
+
+We use this topology (not the full lower-bound argument) as the *general
+graph* workload on which shortcut quality and MST round counts degrade
+towards ``sqrt n``, providing the contrast curve for experiments E5/E6: the
+lower-bound graph contains large clique minors (the paths plus tree provide
+many disjoint connected pieces that are pairwise linked through the tree), so
+it does not belong to any fixed excluded-minor family once the parameters
+grow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..errors import InvalidGraphError
+
+
+@dataclass(frozen=True)
+class LowerBoundGraph:
+    """The hard instance together with its structural bookkeeping.
+
+    Attributes:
+        graph: the network graph.
+        path_starts: first node of each long path (these are natural
+            "sources" for hard MST/aggregation instances).
+        path_ends: last node of each long path.
+        tree_nodes: the nodes of the shallow bridging tree.
+        num_paths: number of parallel paths.
+        path_length: number of nodes per path.
+    """
+
+    graph: nx.Graph
+    path_starts: tuple[int, ...]
+    path_ends: tuple[int, ...]
+    tree_nodes: tuple[int, ...]
+    num_paths: int
+    path_length: int
+
+
+def lower_bound_graph(num_paths: int, path_length: int) -> LowerBoundGraph:
+    """Construct the Das-Sarma-style hard instance ``Gamma(num_paths, path_length)``.
+
+    The construction:
+
+    * ``num_paths`` vertex-disjoint paths, each with ``path_length`` nodes,
+      laid out as rows;
+    * a complete binary tree whose leaves are identified with "column
+      connectors": leaf ``j`` is attached to the ``j``-th node of *every*
+      path, so any two columns are within ``O(log path_length)`` hops of each
+      other through the tree.
+
+    The resulting diameter is ``O(log path_length)`` while the natural
+    parts -- the individual paths -- have diameter ``path_length``; any
+    tree-restricted shortcut must route all paths' traffic through the tree,
+    whose edges near the root become congestion bottlenecks.  With
+    ``num_paths ~ path_length ~ sqrt(n)`` this exhibits the
+    ``Omega~(sqrt n)`` behaviour the paper's introduction cites.
+    """
+    if num_paths < 1 or path_length < 2:
+        raise InvalidGraphError("need at least 1 path with at least 2 nodes")
+    graph = nx.Graph()
+    path_starts: list[int] = []
+    path_ends: list[int] = []
+    label = 0
+    path_node = [[0] * path_length for _ in range(num_paths)]
+    for p in range(num_paths):
+        previous = None
+        for j in range(path_length):
+            path_node[p][j] = label
+            graph.add_node(label)
+            if previous is not None:
+                graph.add_edge(previous, label)
+            previous = label
+            label += 1
+        path_starts.append(path_node[p][0])
+        path_ends.append(path_node[p][path_length - 1])
+
+    # Complete binary tree over the columns: leaves are new nodes, one per
+    # column, internal nodes added on top.
+    leaves = []
+    for j in range(path_length):
+        leaf = label
+        label += 1
+        graph.add_node(leaf)
+        leaves.append(leaf)
+        for p in range(num_paths):
+            graph.add_edge(leaf, path_node[p][j])
+    tree_nodes = list(leaves)
+    level = leaves
+    while len(level) > 1:
+        next_level = []
+        for i in range(0, len(level), 2):
+            parent = label
+            label += 1
+            graph.add_node(parent)
+            tree_nodes.append(parent)
+            graph.add_edge(parent, level[i])
+            if i + 1 < len(level):
+                graph.add_edge(parent, level[i + 1])
+            next_level.append(parent)
+        level = next_level
+
+    return LowerBoundGraph(
+        graph=graph,
+        path_starts=tuple(path_starts),
+        path_ends=tuple(path_ends),
+        tree_nodes=tuple(tree_nodes),
+        num_paths=num_paths,
+        path_length=path_length,
+    )

@@ -1,0 +1,125 @@
+"""Bounded-treewidth graph generators.
+
+Graphs of treewidth at most ``k`` admit tree-restricted shortcuts with block
+parameter ``O(k)`` and congestion ``O(k log n)`` (Theorem 5, HIZ16b), and the
+treewidth bound of Lemma 2/3 is the route through which the paper handles the
+Genus+Vortex part of almost-embeddable graphs.  This module generates
+``k``-trees and partial ``k``-trees together with an explicit witness tree
+decomposition, so that the treewidth-based shortcut constructor never has to
+*search* for a decomposition (matching the paper's existence-only use).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..errors import InvalidGraphError
+from ..utils import ensure_rng
+
+
+@dataclass(frozen=True)
+class TreewidthWitness:
+    """A graph with a certified tree decomposition of known width.
+
+    Attributes:
+        graph: the generated graph.
+        width: the width of ``decomposition`` (max bag size minus one).
+        decomposition: a tree whose nodes are frozensets of graph vertices
+            (bags) satisfying the tree-decomposition axioms.
+    """
+
+    graph: nx.Graph
+    width: int
+    decomposition: nx.Graph
+
+
+def random_ktree(n: int, k: int, seed: int | random.Random | None = None) -> TreewidthWitness:
+    """Return a random ``k``-tree on ``n`` nodes with its tree decomposition.
+
+    A ``k``-tree is built by starting from a ``(k+1)``-clique and repeatedly
+    attaching a new vertex to all vertices of an existing ``k``-clique.
+    ``k``-trees are exactly the maximal graphs of treewidth ``k`` and exclude
+    ``K_{k+2}`` as a minor.
+    """
+    if k < 1:
+        raise InvalidGraphError("k must be at least 1")
+    if n < k + 1:
+        raise InvalidGraphError(f"a {k}-tree needs at least {k + 1} nodes")
+    rng = ensure_rng(seed)
+    graph = nx.complete_graph(k + 1)
+    # Cliques that new vertices may attach to, each a tuple of k vertices.
+    cliques: list[tuple[int, ...]] = [
+        tuple(sorted(set(range(k + 1)) - {dropped})) for dropped in range(k + 1)
+    ]
+    decomposition = nx.Graph()
+    root_bag = frozenset(range(k + 1))
+    decomposition.add_node(root_bag)
+    bag_of_clique: dict[tuple[int, ...], frozenset[int]] = {
+        clique: root_bag for clique in cliques
+    }
+    for new in range(k + 1, n):
+        clique = rng.choice(cliques)
+        for v in clique:
+            graph.add_edge(new, v)
+        new_bag = frozenset(clique) | {new}
+        decomposition.add_node(new_bag)
+        decomposition.add_edge(new_bag, bag_of_clique[clique])
+        new_cliques = [
+            tuple(sorted((set(clique) - {dropped}) | {new})) for dropped in clique
+        ] + [tuple(sorted(clique))]
+        for nc in new_cliques:
+            cliques.append(nc)
+            bag_of_clique[nc] = new_bag
+    return TreewidthWitness(graph=graph, width=k, decomposition=decomposition)
+
+
+def random_partial_ktree(
+    n: int,
+    k: int,
+    keep_probability: float = 0.7,
+    seed: int | random.Random | None = None,
+) -> TreewidthWitness:
+    """Return a random partial ``k``-tree (treewidth <= k) on ``n`` nodes.
+
+    The generator samples a random ``k``-tree and then deletes each edge
+    independently with probability ``1 - keep_probability``, re-adding a
+    spanning set of edges if the deletion disconnected the graph (so that the
+    result remains a connected network).  Subgraphs of ``k``-trees are exactly
+    the graphs of treewidth at most ``k``; the witness decomposition of the
+    parent ``k``-tree remains valid for the subgraph.
+    """
+    if not 0.0 <= keep_probability <= 1.0:
+        raise InvalidGraphError("keep_probability must lie in [0, 1]")
+    rng = ensure_rng(seed)
+    witness = random_ktree(n, k, seed=rng)
+    graph = witness.graph.copy()
+    removable = list(graph.edges())
+    rng.shuffle(removable)
+    for u, v in removable:
+        if rng.random() < keep_probability:
+            continue
+        graph.remove_edge(u, v)
+        # Keep the network connected: undo deletions that disconnect it.
+        if not nx.has_path(graph, u, v):
+            graph.add_edge(u, v)
+    return TreewidthWitness(graph=graph, width=k, decomposition=witness.decomposition)
+
+
+def random_caterpillar_tree(n: int, seed: int | random.Random | None = None) -> nx.Graph:
+    """Return a random caterpillar tree (treewidth 1, diameter close to n).
+
+    Trees exclude ``K_3`` as a minor and are the extreme case where the
+    spanning tree *is* the whole graph; they stress the block-parameter side
+    of the shortcut quality rather than the congestion side.
+    """
+    if n < 2:
+        raise InvalidGraphError("a tree needs at least 2 nodes")
+    rng = ensure_rng(seed)
+    spine_length = max(2, n // 2)
+    graph = nx.path_graph(spine_length)
+    for leaf in range(spine_length, n):
+        graph.add_edge(leaf, rng.randrange(spine_length))
+    return graph

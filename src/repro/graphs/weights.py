@@ -1,0 +1,97 @@
+"""Edge-weight assignment helpers for MST / min-cut workloads.
+
+The shortcut framework itself is oblivious to edge weights -- shortcuts are a
+purely topological construction -- but the *algorithms* built on top (MST,
+approximate min-cut) need weighted instances, and the choice of weights
+changes which instances are hard:
+
+* unit weights make every spanning tree an MST (useful for correctness tests
+  where only connectivity matters);
+* IID random weights are the classical average-case model (and the model
+  under which Khan--Pandurangan obtained their restricted O~(D) result cited
+  in Related Work);
+* adversarial weights force Boruvka fragments to grow along prescribed
+  long, skinny shapes, which is the worst case for part-wise aggregation.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+from ..utils import ensure_rng
+
+WEIGHT = "weight"
+
+
+def assign_unit_weights(graph: nx.Graph) -> nx.Graph:
+    """Set every edge weight to 1 (in place) and return the graph."""
+    for u, v in graph.edges():
+        graph[u][v][WEIGHT] = 1.0
+    return graph
+
+
+def assign_random_weights(
+    graph: nx.Graph,
+    low: float = 1.0,
+    high: float = 100.0,
+    seed: int | random.Random | None = None,
+    integer: bool = False,
+) -> nx.Graph:
+    """Assign IID uniform random weights in ``[low, high]`` (in place).
+
+    With ``integer=True`` the weights are drawn from the integers in the
+    range, plus a tiny index-dependent tie-breaker so that the MST is unique
+    (uniqueness simplifies the distributed-vs-reference comparison tests).
+    """
+    rng = ensure_rng(seed)
+    for index, (u, v) in enumerate(sorted(graph.edges(), key=repr)):
+        if integer:
+            weight = float(rng.randint(int(low), int(high))) + index * 1e-9
+        else:
+            weight = rng.uniform(low, high)
+        graph[u][v][WEIGHT] = weight
+    return graph
+
+
+def assign_adversarial_weights(
+    graph: nx.Graph,
+    spine: list | None = None,
+    seed: int | random.Random | None = None,
+) -> nx.Graph:
+    """Assign weights that force MST fragments to grow along a long path.
+
+    Edges along ``spine`` (a list of nodes forming a path; defaults to a
+    longest-ish path found by double BFS) get tiny increasing weights, every
+    other edge gets a large random weight.  Early Boruvka phases then merge
+    fragments into one long chain -- exactly the "long and skinny parts"
+    regime where shortcuts matter most (wheel-graph discussion, Section 1.3.3).
+    """
+    rng = ensure_rng(seed)
+    if spine is None:
+        # Double BFS gives a path between two far-apart nodes.
+        start = next(iter(sorted(graph.nodes(), key=repr)))
+        far = max(nx.single_source_shortest_path_length(graph, start).items(), key=lambda kv: kv[1])[0]
+        farther = max(
+            nx.single_source_shortest_path_length(graph, far).items(), key=lambda kv: kv[1]
+        )[0]
+        spine = nx.shortest_path(graph, far, farther)
+    spine_edges = set()
+    for a, b in zip(spine, spine[1:]):
+        spine_edges.add(frozenset((a, b)))
+    light = 1.0
+    for u, v in sorted(graph.edges(), key=repr):
+        if frozenset((u, v)) in spine_edges:
+            graph[u][v][WEIGHT] = light
+            light += 1e-3
+        else:
+            graph[u][v][WEIGHT] = 1000.0 + rng.uniform(0.0, 1000.0)
+    return graph
+
+
+def total_weight(graph: nx.Graph, edges=None) -> float:
+    """Return the total weight of ``edges`` (default: all edges of the graph)."""
+    if edges is None:
+        edges = graph.edges()
+    return sum(graph[u][v].get(WEIGHT, 1.0) for u, v in edges)

@@ -1,0 +1,62 @@
+"""Low-congestion tree-restricted shortcuts: the paper's core contribution.
+
+The subpackage is organised by graph family, mirroring the paper's proof
+structure:
+
+* :mod:`repro.shortcuts.parts`        -- parts (Definition 9) and workload generators
+* :mod:`repro.shortcuts.shortcut`     -- the :class:`Shortcut` object, congestion /
+  block / quality measures (Definitions 10-13)
+* :mod:`repro.shortcuts.baseline`     -- trivial constructions (empty, whole-tree,
+  Steiner-tree) used as baselines
+* :mod:`repro.shortcuts.congestion_capped` -- the structure-oblivious constructor in
+  the spirit of HIZ16a that the distributed algorithm itself would run
+* :mod:`repro.shortcuts.planar`       -- Theorem 4 (planar graphs)
+* :mod:`repro.shortcuts.treewidth`    -- Theorem 5 (bounded treewidth)
+* :mod:`repro.shortcuts.genus_vortex` -- Theorem 9 / Corollary 3 (Genus+Vortex)
+* :mod:`repro.shortcuts.clique_sum`   -- Theorem 7 (k-clique-sums, local/global split,
+  heavy-light folding)
+* :mod:`repro.shortcuts.apex`         -- Lemma 9/10 and Theorem 8 (apex graphs)
+* :mod:`repro.shortcuts.minor_free`   -- Theorem 6 (the full excluded-minor pipeline)
+* :mod:`repro.shortcuts.search`       -- measurement sweeps and the best-of portfolio
+"""
+
+from .parts import (
+    boruvka_parts,
+    path_parts,
+    random_connected_parts,
+    tree_fragment_parts,
+    validate_parts,
+)
+from .shortcut import Shortcut, ShortcutQuality
+from .baseline import empty_shortcut, steiner_shortcut, whole_tree_shortcut
+from .congestion_capped import congestion_capped_shortcut, oblivious_shortcut
+from .planar import planar_shortcut
+from .treewidth import treewidth_shortcut
+from .genus_vortex import genus_vortex_shortcut
+from .clique_sum import clique_sum_shortcut
+from .apex import apex_shortcut
+from .minor_free import minor_free_shortcut
+from .search import best_shortcut, measure_constructors
+
+__all__ = [
+    "Shortcut",
+    "ShortcutQuality",
+    "apex_shortcut",
+    "best_shortcut",
+    "boruvka_parts",
+    "clique_sum_shortcut",
+    "congestion_capped_shortcut",
+    "empty_shortcut",
+    "genus_vortex_shortcut",
+    "measure_constructors",
+    "minor_free_shortcut",
+    "oblivious_shortcut",
+    "path_parts",
+    "planar_shortcut",
+    "random_connected_parts",
+    "steiner_shortcut",
+    "tree_fragment_parts",
+    "treewidth_shortcut",
+    "validate_parts",
+    "whole_tree_shortcut",
+]

@@ -1,0 +1,232 @@
+"""Shortcuts for apex graphs (Lemmas 9 and 10, Theorem 8).
+
+The hard part of the almost-embeddable case is the apices: adding a single
+apex can collapse the graph diameter (cycle -> wheel), so the shortcut must
+become dramatically better even though the graph barely changed.  The
+construction:
+
+1. parts containing an apex simply receive the whole spanning tree (there
+   are at most ``q`` of them, adding ``q`` to the congestion);
+2. removing the apices from ``T`` splits it into *cells* -- subtrees of
+   diameter at most the tree diameter (Definition 14 / Lemma 9);
+3. cells containing a vortex are merged into *special* cells (Lemma 10);
+4. the cell-assignment relation ``R`` of Definition 15 (computed by the
+   peeling of Lemma 5/6) decides, for every part, which cells help it
+   *globally*: for each related cell the part receives the cell's whole
+   subtree plus its uplink edge to the apex;
+5. for the at-most-two normal cells (plus special cells) a part intersects
+   but is not related to, *local* shortcuts inside the cell are built by the
+   family shortcutter of the cell (planar / Genus+Vortex), restricted to the
+   cell's subtree of ``T``.
+
+Multiple apices are handled exactly as in Theorem 8's proof: the cells are
+the components of ``T`` minus *all* apices, and an apex-containing part gets
+the whole tree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Sequence
+
+import networkx as nx
+
+from ..errors import InvalidShortcutError
+from ..graphs.apex_vortex import AlmostEmbeddableGraph
+from ..structure.cell_assignment import compute_cell_assignment
+from ..structure.cells import CellPartition, cells_from_tree_without_apices, merge_cells_touching
+from ..structure.spanning import RootedTree, bfs_spanning_tree
+from ..utils import canonical_edge
+from .congestion_capped import oblivious_shortcut
+from .parts import validate_parts
+from .shortcut import Shortcut
+
+Edge = tuple[Hashable, Hashable]
+
+# Per-cell local shortcutter: (cell graph, cell subtree of T, sub-parts) -> Shortcut.
+CellShortcutter = Callable[[nx.Graph, RootedTree, Sequence[frozenset]], Shortcut]
+
+
+def _cell_subtree(tree: RootedTree, cell: frozenset) -> RootedTree:
+    """Return the subtree of ``T`` induced on a cell, as a rooted tree.
+
+    Cells are, by construction, connected subtrees of ``T`` (components of
+    ``T`` minus the apices, possibly merged with other components through a
+    vortex -- in which case the induced forest is reconnected by contracting
+    through the missing apices, i.e. we fall back to the generic
+    ``contract_to`` minor, which stays within tree edges wherever they exist).
+    """
+    induced = nx.Graph()
+    induced.add_nodes_from(cell)
+    for u, v in tree.edges():
+        if u in cell and v in cell:
+            induced.add_edge(u, v)
+    if nx.is_connected(induced):
+        root = min(cell, key=repr)
+        parent: dict[Hashable, Hashable | None] = {root: None}
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            for neighbour in induced.neighbors(node):
+                if neighbour not in parent:
+                    parent[neighbour] = node
+                    stack.append(neighbour)
+        return RootedTree(parent, root)
+    return tree.contract_to(cell)
+
+
+def _uplink_edges(tree: RootedTree, cell: frozenset, apices: set) -> set[Edge]:
+    """Return the tree edges connecting the cell to an apex (the "uplinks")."""
+    uplinks: set[Edge] = set()
+    for vertex in cell:
+        parent = tree.parent.get(vertex)
+        if parent is not None and parent in apices:
+            uplinks.add(canonical_edge(vertex, parent))
+        for child in tree.children.get(vertex, []):
+            if child in apices:
+                uplinks.add(canonical_edge(vertex, child))
+    return uplinks
+
+
+def default_cell_shortcutter(
+    cell_graph: nx.Graph, cell_tree: RootedTree, subparts: Sequence[frozenset]
+) -> Shortcut:
+    """Default per-cell local shortcutter: the oblivious congestion-capped search.
+
+    Lemma 9 uses the planar shortcutter (Theorem 4) here and Lemma 10 the
+    treewidth-based one; both are *existence* arguments, and the oblivious
+    search is the constructor the distributed algorithm would actually run
+    inside a cell (see the discussion in :mod:`repro.shortcuts.congestion_capped`).
+    Callers with a structural witness can pass a family-specific shortcutter.
+    """
+    return oblivious_shortcut(cell_graph, cell_tree, subparts)
+
+
+def apex_shortcut(
+    graph: nx.Graph,
+    tree: RootedTree | None = None,
+    parts: Sequence[frozenset] = (),
+    apices: Iterable[Hashable] = (),
+    vortex_node_groups: Sequence[Iterable[Hashable]] = (),
+    cell_shortcutter: CellShortcutter | None = None,
+) -> Shortcut:
+    """Construct a tree-restricted shortcut for an apex graph (Lemma 9/10, Thm 8).
+
+    Args:
+        graph: the network graph (surface part + vortices + apices).
+        tree: spanning tree ``T`` of ``graph`` (defaults to BFS).
+        parts: the parts to serve.
+        apices: the apex vertices ``q`` of the witness.
+        vortex_node_groups: for every vortex, the set of vertices it touches
+            (boundary plus internal nodes); cells meeting a vortex are merged
+            into special cells exactly as Lemma 10 prescribes.
+        cell_shortcutter: local shortcutter run inside skipped cells.
+
+    Returns:
+        A T-restricted :class:`Shortcut` covering every part.
+    """
+    tree = tree if tree is not None else bfs_spanning_tree(graph)
+    validate_parts(graph, parts)
+    apex_set = set(apices)
+    shortcutter = cell_shortcutter if cell_shortcutter is not None else default_cell_shortcutter
+    for apex in apex_set:
+        if apex not in graph:
+            raise InvalidShortcutError(f"apex {apex} is not a graph vertex")
+
+    tree_edges = set(tree.edge_set())
+    edge_sets: list[set[Edge]] = [set() for _ in parts]
+
+    if not apex_set:
+        # Degenerate case: no apices means the whole graph is one "cell";
+        # serve every part with the oblivious constructor directly.
+        fallback = shortcutter(graph, tree, parts)
+        fallback.constructor = "apex(no-apices)"
+        return fallback
+
+    # Step 1: parts containing an apex get the whole tree.
+    apex_parts = [i for i, part in enumerate(parts) if set(part) & apex_set]
+    for index in apex_parts:
+        edge_sets[index] = set(tree_edges)
+
+    surface_part_indices = [i for i in range(len(parts)) if i not in set(apex_parts)]
+
+    # Step 2/3: cells from T minus apices, vortices merged into special cells.
+    partition = cells_from_tree_without_apices(tree, apex_set)
+    if vortex_node_groups:
+        partition = merge_cells_touching(partition, list(vortex_node_groups))
+
+    # Step 4: cell assignment (Lemma 5/6 peeling) for the non-apex parts.
+    surface_parts = [parts[i] for i in surface_part_indices]
+    assignment = compute_cell_assignment(surface_parts, partition)
+
+    cell_list = partition.cells
+    for local_index, part_index in enumerate(surface_part_indices):
+        for cell_index in assignment.related_cells[local_index]:
+            cell = cell_list[cell_index]
+            cell_edges = {
+                edge for edge in tree_edges if edge[0] in cell and edge[1] in cell
+            }
+            edge_sets[part_index] |= cell_edges
+            edge_sets[part_index] |= _uplink_edges(tree, cell, apex_set)
+
+    # Step 5: local shortcuts inside skipped cells and special cells.
+    skipped_by_cell: dict[int, list[int]] = {}
+    special_indices = set(partition.special)
+    cell_vertex_sets = [set(cell) for cell in cell_list]
+    for local_index, part_index in enumerate(surface_part_indices):
+        part_set = set(parts[part_index])
+        related = assignment.related_cells[local_index]
+        for cell_index, cell_vertices in enumerate(cell_vertex_sets):
+            if cell_index in related:
+                continue
+            if cell_index in special_indices or cell_index in assignment.skipped_cells[local_index]:
+                if cell_vertices & part_set:
+                    skipped_by_cell.setdefault(cell_index, []).append(part_index)
+
+    for cell_index, part_indices in skipped_by_cell.items():
+        cell = cell_list[cell_index]
+        cell_vertices = cell_vertex_sets[cell_index]
+        cell_tree = _cell_subtree(tree, cell)
+        cell_graph = graph.subgraph(cell).copy()
+        for u, v in cell_tree.edges():
+            cell_graph.add_edge(u, v)
+        subparts: list[frozenset] = []
+        owners: list[int] = []
+        for part_index in part_indices:
+            restricted = set(parts[part_index]) & cell_vertices
+            if not restricted:
+                continue
+            for component in nx.connected_components(cell_graph.subgraph(restricted)):
+                subparts.append(frozenset(component))
+                owners.append(part_index)
+        if not subparts:
+            continue
+        local = shortcutter(cell_graph, cell_tree, subparts)
+        for sub_index, owner in enumerate(owners):
+            kept = {edge for edge in local.edge_sets[sub_index] if edge in tree_edges}
+            edge_sets[owner] |= kept
+
+    shortcut = Shortcut(
+        graph=graph,
+        tree=tree,
+        parts=parts,
+        edge_sets=[frozenset(edges) for edges in edge_sets],
+        constructor="apex(theorem8)",
+    )
+    return shortcut
+
+
+def apex_shortcut_from_witness(
+    witness: AlmostEmbeddableGraph,
+    tree: RootedTree | None = None,
+    parts: Sequence[frozenset] = (),
+    cell_shortcutter: CellShortcutter | None = None,
+) -> Shortcut:
+    """Convenience wrapper: read apices and vortices off an almost-embeddable witness."""
+    return apex_shortcut(
+        witness.graph,
+        tree,
+        parts,
+        apices=witness.apices,
+        vortex_node_groups=[vortex.all_nodes() for vortex in witness.vortices],
+        cell_shortcutter=cell_shortcutter,
+    )

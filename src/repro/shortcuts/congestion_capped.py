@@ -1,0 +1,137 @@
+"""Structure-oblivious shortcut construction with a congestion cap.
+
+Haeupler, Izumi and Zuzic [HIZ16a] show that near-optimal *tree-restricted*
+shortcuts can be constructed distributively without looking at the graph
+structure at all: essentially, every part tries to acquire the tree edges of
+its Steiner tree, and over-congested edges are dropped, trading congestion
+for extra blocks.  The paper leans on this fact (Theorem 1's algorithm
+"does not look at any structure in the network graph"): the structural
+results (Theorems 4-8) only certify that a good assignment *exists*, which
+guarantees that the oblivious construction -- searched over its congestion
+budget -- finds one of comparable quality.
+
+This module implements that oblivious constructor:
+
+* :func:`congestion_capped_shortcut` prunes the Steiner-tree shortcut down to
+  a given congestion budget, dropping each over-budget tree edge from the
+  parts that benefit from it least (fewest part vertices behind the edge);
+* :func:`oblivious_shortcut` performs the doubling search over the budget and
+  returns the best-quality result, which is the constructor the distributed
+  algorithms in :mod:`repro.algorithms` use by default.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import networkx as nx
+
+from ..structure.spanning import RootedTree, bfs_spanning_tree
+from ..utils import canonical_edge
+from .parts import validate_parts
+from .shortcut import Shortcut
+
+
+def _edge_benefit(
+    tree: RootedTree, part: frozenset, steiner_edges: frozenset
+) -> dict[tuple, int]:
+    """For every Steiner edge, count the part vertices in the subtree below it.
+
+    When an edge must be dropped from some parts, dropping it from the parts
+    with the smallest "behind the edge" population severs the fewest part
+    vertices from the rest of the Steiner tree, which keeps the number of
+    extra blocks small.
+    """
+    benefit: dict[tuple, int] = {}
+    for u, v in steiner_edges:
+        child = u if tree.parent.get(u) == v else v
+        below = tree.subtree_nodes(child)
+        benefit[canonical_edge(u, v)] = len(below & part)
+    return benefit
+
+
+def congestion_capped_shortcut(
+    graph: nx.Graph,
+    tree: RootedTree | None = None,
+    parts: Sequence[frozenset] = (),
+    congestion_budget: int = 8,
+) -> Shortcut:
+    """Prune the Steiner-tree shortcut to respect a congestion budget.
+
+    Every part starts with its full Steiner tree in ``T``.  For every tree
+    edge requested by more than ``congestion_budget`` parts, only the
+    ``congestion_budget`` parts with the largest benefit (number of their
+    vertices behind the edge) keep it; the others lose the edge, which may
+    split their shortcut into more blocks.  The result is always a valid
+    T-restricted shortcut with congestion at most ``congestion_budget``.
+    """
+    tree = tree if tree is not None else bfs_spanning_tree(graph)
+    validate_parts(graph, parts)
+    if congestion_budget < 0:
+        congestion_budget = 0
+
+    steiner: list[frozenset] = [frozenset(tree.steiner_tree_edges(part)) for part in parts]
+    requests: dict[tuple, list[int]] = {}
+    for index, edges in enumerate(steiner):
+        for edge in edges:
+            requests.setdefault(edge, []).append(index)
+
+    benefits: list[dict[tuple, int]] = [
+        _edge_benefit(tree, parts[index], steiner[index]) for index in range(len(parts))
+    ]
+
+    keep: list[set[tuple]] = [set(edges) for edges in steiner]
+    for edge, owners in requests.items():
+        if len(owners) <= congestion_budget:
+            continue
+        ranked = sorted(owners, key=lambda i: (-benefits[i].get(edge, 0), i))
+        for loser in ranked[congestion_budget:]:
+            keep[loser].discard(edge)
+
+    return Shortcut(
+        graph=graph,
+        tree=tree,
+        parts=parts,
+        edge_sets=[frozenset(edges) for edges in keep],
+        constructor=f"congestion_capped(c={congestion_budget})",
+    )
+
+
+def oblivious_shortcut(
+    graph: nx.Graph,
+    tree: RootedTree | None = None,
+    parts: Sequence[frozenset] = (),
+    budgets: Sequence[int] | None = None,
+) -> Shortcut:
+    """Doubling search over the congestion budget; return the best quality found.
+
+    This mirrors how the distributed construction of HIZ16a is used in
+    practice: the algorithm does not know the right congestion/block
+    trade-off in advance, so it tries geometrically increasing budgets and
+    keeps the best.  The searched budgets default to powers of two up to the
+    number of parts (beyond which the Steiner shortcut is returned
+    unpruned).
+    """
+    tree = tree if tree is not None else bfs_spanning_tree(graph)
+    validate_parts(graph, parts)
+    if not parts:
+        return Shortcut(graph=graph, tree=tree, parts=[], edge_sets=[], constructor="oblivious")
+    if budgets is None:
+        budgets = []
+        budget = 1
+        while budget < len(parts):
+            budgets.append(budget)
+            budget *= 2
+        budgets.append(len(parts))
+    best: Shortcut | None = None
+    best_quality = None
+    for budget in budgets:
+        candidate = congestion_capped_shortcut(
+            graph, tree, parts, congestion_budget=budget
+        )
+        quality = candidate.quality()
+        if best_quality is None or quality < best_quality:
+            best, best_quality = candidate, quality
+    assert best is not None
+    best.constructor = "oblivious"
+    return best

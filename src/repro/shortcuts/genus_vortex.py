@@ -1,0 +1,70 @@
+"""Shortcuts for Genus+Vortex graphs (Theorem 9 / Corollary 3, via Lemma 2/3).
+
+The paper's warm-up (Section 2.3.1) handles ``(0, g, k, l)``-almost-embeddable
+graphs -- bounded genus plus vortices, no apices -- by showing they have
+treewidth ``O((g + 1) k l D)`` (Lemma 3) and then invoking the
+treewidth-based shortcut construction (Theorem 5).  The constructor here
+replays that chain: build the Lemma 2/3 tree decomposition (star-replace the
+vortices, decompose, re-insert the vortex nodes) and hand it to
+:func:`repro.shortcuts.treewidth.treewidth_shortcut`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+
+from ..errors import InvalidGraphError
+from ..graphs.apex_vortex import AlmostEmbeddableGraph
+from ..structure.spanning import RootedTree, bfs_spanning_tree
+from ..structure.tree_decomposition import genus_vortex_decomposition, greedy_tree_decomposition
+from .shortcut import Shortcut
+from .treewidth import treewidth_shortcut
+
+
+def genus_vortex_shortcut(
+    almost_embeddable: AlmostEmbeddableGraph,
+    tree: RootedTree | None = None,
+    parts: Sequence[frozenset] = (),
+    fold: bool = True,
+) -> Shortcut:
+    """Construct shortcuts for the apex-free part of an almost-embeddable graph.
+
+    Args:
+        almost_embeddable: the construction witness; must have **no apices**
+            (apices are the business of Lemma 9/10 -- use
+            :func:`repro.shortcuts.apex.apex_shortcut` for graphs that have
+            them).
+        tree: spanning tree of the apex-free graph (defaults to BFS).
+        parts: the parts to serve.
+        fold: passed through to the underlying clique-sum composition.
+    """
+    if almost_embeddable.apices:
+        raise InvalidGraphError(
+            "genus_vortex_shortcut handles only the (0, g, k, l) case; this witness "
+            "has apices -- use apex_shortcut instead"
+        )
+    graph = almost_embeddable.graph
+    tree = tree if tree is not None else bfs_spanning_tree(graph)
+    if almost_embeddable.vortices:
+        decomposition = genus_vortex_decomposition(almost_embeddable)
+    else:
+        decomposition = greedy_tree_decomposition(graph)
+    shortcut = treewidth_shortcut(
+        graph, tree, parts, decomposition=decomposition, fold=fold
+    )
+    shortcut.constructor = "genus_vortex(theorem9)"
+    return shortcut
+
+
+def genus_vortex_quality_bounds(
+    almost_embeddable: AlmostEmbeddableGraph, diameter: int, num_nodes: int
+) -> dict[str, float]:
+    """Return the Theorem 9 asymptotic targets for experiment annotation."""
+    import math
+
+    _q, g, k, l = almost_embeddable.parameters
+    block = (g + 1) * max(1, k) * max(1, l) * diameter
+    congestion = block * math.log2(num_nodes + 2)
+    return {"block": block, "congestion": congestion, "quality": block * diameter + congestion}

@@ -1,0 +1,86 @@
+"""Quality measurement sweeps and the best-of portfolio constructor.
+
+The experiments repeatedly need to (a) run several shortcut constructors on
+the same (graph, tree, parts) instance and tabulate their measured
+congestion / block / quality, and (b) pick the best available construction
+for a given instance when driving the distributed algorithms.  Both helpers
+live here so that benchmark files stay declarative.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import networkx as nx
+
+from ..structure.spanning import RootedTree, bfs_spanning_tree
+from .baseline import empty_shortcut, steiner_shortcut, whole_tree_shortcut
+from .congestion_capped import oblivious_shortcut
+from .shortcut import Shortcut, ShortcutQuality
+
+Constructor = Callable[[nx.Graph, RootedTree, Sequence[frozenset]], Shortcut]
+
+
+def default_constructors() -> dict[str, Constructor]:
+    """Return the family-agnostic constructors every experiment can run."""
+    return {
+        "empty": empty_shortcut,
+        "whole_tree": whole_tree_shortcut,
+        "steiner": steiner_shortcut,
+        "oblivious": oblivious_shortcut,
+    }
+
+
+def measure_constructors(
+    graph: nx.Graph,
+    parts: Sequence[frozenset],
+    constructors: Mapping[str, Constructor] | None = None,
+    tree: RootedTree | None = None,
+    validate: bool = True,
+) -> dict[str, ShortcutQuality]:
+    """Run every constructor on the instance and return its measured quality.
+
+    Args:
+        graph: the network graph.
+        parts: the parts to serve.
+        constructors: name -> constructor mapping; defaults to
+            :func:`default_constructors`.
+        tree: the spanning tree (shared across constructors so the comparison
+            is apples-to-apples); defaults to a BFS tree.
+        validate: whether to validate each produced shortcut (T-restriction
+            and structural sanity) before measuring it.
+    """
+    tree = tree if tree is not None else bfs_spanning_tree(graph)
+    constructors = constructors if constructors is not None else default_constructors()
+    results: dict[str, ShortcutQuality] = {}
+    for name, constructor in constructors.items():
+        shortcut = constructor(graph, tree, parts)
+        if validate:
+            shortcut.validate()
+        results[name] = shortcut.measure()
+    return results
+
+
+def best_shortcut(
+    graph: nx.Graph,
+    parts: Sequence[frozenset],
+    constructors: Mapping[str, Constructor] | None = None,
+    tree: RootedTree | None = None,
+) -> Shortcut:
+    """Return the lowest-quality (i.e. best) shortcut among the constructors.
+
+    Used by the distributed algorithms when the caller has no structural
+    witness: quality is a worst-case surrogate for the aggregation round
+    count, so minimising it minimises the simulated rounds.
+    """
+    tree = tree if tree is not None else bfs_spanning_tree(graph)
+    constructors = constructors if constructors is not None else default_constructors()
+    best: Shortcut | None = None
+    best_quality: int | None = None
+    for _name, constructor in sorted(constructors.items()):
+        candidate = constructor(graph, tree, parts)
+        quality = candidate.quality()
+        if best_quality is None or quality < best_quality:
+            best, best_quality = candidate, quality
+    assert best is not None
+    return best

@@ -1,0 +1,252 @@
+"""The :class:`Shortcut` object and its quality measures (Definitions 9-13).
+
+A shortcut assigns to every part ``P_i`` a set of extra edges ``H_i`` that
+the part may use when spreading information.  The three quantities the paper
+tracks are:
+
+* **congestion** (Definition 11): the maximum, over edges ``e``, of the
+  number of parts whose ``H_i`` contains ``e``;
+* **block parameter** (Definition 12): the maximum, over parts, of the
+  number of connected components of the spanning subgraph ``(V, H_i)`` that
+  contain a vertex of ``P_i``;
+* **quality** (Definition 13): ``q(d) = b(d) * d + c(d)`` where ``d`` is the
+  diameter of the spanning tree ``T`` the shortcut is restricted to.
+
+The object stores everything needed to recompute these quantities from
+scratch, which the property-based tests use to confirm that every
+constructor's self-reported numbers are honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+import networkx as nx
+
+from ..errors import InvalidShortcutError
+from ..structure.spanning import RootedTree
+from ..utils import canonical_edge
+
+Edge = tuple[Hashable, Hashable]
+
+
+@dataclass(frozen=True)
+class ShortcutQuality:
+    """A summary of the measured parameters of one shortcut.
+
+    Attributes:
+        congestion: Definition 11 congestion.
+        block: Definition 12 block parameter.
+        tree_diameter: the diameter ``d_T`` of the spanning tree used.
+        quality: ``block * tree_diameter + congestion`` (Definition 13).
+        num_parts: how many parts the shortcut serves.
+        total_shortcut_edges: sum over parts of ``|H_i|`` (a size measure
+            used by the experiments, not by the theory).
+    """
+
+    congestion: int
+    block: int
+    tree_diameter: int
+    quality: int
+    num_parts: int
+    total_shortcut_edges: int
+
+    def as_row(self) -> dict[str, int]:
+        """Return the summary as a flat dict (one row of an experiment table)."""
+        return {
+            "congestion": self.congestion,
+            "block": self.block,
+            "tree_diameter": self.tree_diameter,
+            "quality": self.quality,
+            "num_parts": self.num_parts,
+            "total_shortcut_edges": self.total_shortcut_edges,
+        }
+
+
+class Shortcut:
+    """A (possibly tree-restricted) shortcut for a family of parts.
+
+    Args:
+        graph: the network graph ``G``.
+        tree: the rooted spanning tree ``T`` the shortcut is restricted to.
+        parts: the parts ``P_1, ..., P_N`` (disjoint connected vertex sets).
+        edge_sets: for every part, the set of shortcut edges ``H_i`` in
+            canonical form.  ``H_i`` may be empty.
+        constructor: free-form name of the construction that produced the
+            shortcut (recorded in experiment outputs).
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        tree: RootedTree,
+        parts: Sequence[frozenset],
+        edge_sets: Sequence[Iterable[Edge]],
+        constructor: str = "unknown",
+    ) -> None:
+        if len(parts) != len(edge_sets):
+            raise InvalidShortcutError("need exactly one edge set per part")
+        self.graph = graph
+        self.tree = tree
+        self.parts: list[frozenset] = [frozenset(part) for part in parts]
+        self.edge_sets: list[frozenset[Edge]] = [
+            frozenset(canonical_edge(u, v) for u, v in edges) for edges in edge_sets
+        ]
+        self.constructor = constructor
+        self._tree_edges = tree.edge_set()
+        self._tree_diameter: int | None = None
+
+    # -- basic measures ---------------------------------------------------
+
+    @property
+    def num_parts(self) -> int:
+        return len(self.parts)
+
+    def tree_diameter(self) -> int:
+        if self._tree_diameter is None:
+            self._tree_diameter = self.tree.diameter()
+        return self._tree_diameter
+
+    def edge_congestion(self) -> dict[Edge, int]:
+        """Return the per-edge congestion map ``c_e`` of Definition 11."""
+        congestion: dict[Edge, int] = {}
+        for edges in self.edge_sets:
+            for edge in edges:
+                congestion[edge] = congestion.get(edge, 0) + 1
+        return congestion
+
+    def congestion(self) -> int:
+        """Return the congestion (Definition 11): max parts sharing one edge."""
+        congestion = self.edge_congestion()
+        return max(congestion.values(), default=0)
+
+    def block_components(self, index: int) -> list[set[Hashable]]:
+        """Return the block components of part ``index`` (Definition 12).
+
+        These are the connected components of the spanning subgraph
+        ``(V, H_i)`` that contain at least one vertex of ``P_i``.  Vertices
+        of ``P_i`` untouched by any shortcut edge each form a singleton block
+        component, exactly as the definition prescribes.
+        """
+        part = self.parts[index]
+        subgraph = nx.Graph()
+        subgraph.add_nodes_from(part)
+        for u, v in self.edge_sets[index]:
+            subgraph.add_edge(u, v)
+        components = []
+        for component in nx.connected_components(subgraph):
+            if component & part:
+                components.append(set(component))
+        return components
+
+    def block_parameter(self) -> int:
+        """Return the block parameter (Definition 12): max blocks of any part."""
+        return max(
+            (len(self.block_components(i)) for i in range(self.num_parts)), default=0
+        )
+
+    def quality(self, tree_diameter: int | None = None) -> int:
+        """Return the quality ``b * d + c`` (Definition 13)."""
+        d = tree_diameter if tree_diameter is not None else self.tree_diameter()
+        return self.block_parameter() * d + self.congestion()
+
+    def measure(self) -> ShortcutQuality:
+        """Return the full measured summary of this shortcut."""
+        d = self.tree_diameter()
+        block = self.block_parameter()
+        congestion = self.congestion()
+        return ShortcutQuality(
+            congestion=congestion,
+            block=block,
+            tree_diameter=d,
+            quality=block * d + congestion,
+            num_parts=self.num_parts,
+            total_shortcut_edges=sum(len(edges) for edges in self.edge_sets),
+        )
+
+    # -- derived graphs ----------------------------------------------------
+
+    def augmented_subgraph(self, index: int) -> nx.Graph:
+        """Return ``G[P_i] + H_i``: the graph part ``i`` communicates on.
+
+        This is the induced subgraph on the part plus every shortcut edge and
+        any shortcut-edge endpoint outside the part; Theorem 1's algorithm
+        performs its per-part aggregation on exactly this graph, and the
+        CONGEST aggregation primitive of :mod:`repro.congest.aggregation`
+        simulates communication on it.
+        """
+        part = self.parts[index]
+        subgraph = nx.Graph()
+        subgraph.add_nodes_from(part)
+        for u, v in self.graph.subgraph(part).edges():
+            subgraph.add_edge(u, v)
+        for u, v in self.edge_sets[index]:
+            subgraph.add_edge(u, v)
+        return subgraph
+
+    def part_diameters(self) -> list[int]:
+        """Return the diameter of ``G[P_i] + H_i`` for every part.
+
+        The paper's framework upper-bounds these by ``O(b * d_T)``; the
+        experiments report the measured values alongside the bound.  Shortcut
+        edges that are disconnected from the part contribute nothing to the
+        diameter (they are useless but legal), so the measurement is taken on
+        the connected component containing the part.
+        """
+        diameters = []
+        for index in range(self.num_parts):
+            augmented = self.augmented_subgraph(index)
+            if augmented.number_of_nodes() <= 1:
+                diameters.append(0)
+                continue
+            anchor = next(iter(self.parts[index]))
+            component = nx.node_connected_component(augmented, anchor)
+            diameters.append(nx.diameter(augmented.subgraph(component)))
+        return diameters
+
+    # -- validation ---------------------------------------------------------
+
+    def is_tree_restricted(self) -> bool:
+        """Return True iff every shortcut edge lies on the tree (Definition 10)."""
+        return all(edges <= self._tree_edges for edges in self.edge_sets)
+
+    def validate(self, require_tree_restricted: bool = True) -> None:
+        """Check structural sanity; raise :class:`InvalidShortcutError` on failure.
+
+        Checks performed:
+        * every shortcut edge is an edge of the graph;
+        * (optionally) every shortcut edge is a tree edge (Definition 10);
+        * every part is connected and parts are disjoint (Definition 9).
+
+        Note that shortcut edges disconnected from their part are *legal*
+        (they waste congestion but break nothing), so connectivity of the
+        full augmented subgraph is deliberately not required.
+        """
+        seen: set[Hashable] = set()
+        for index, part in enumerate(self.parts):
+            if not part:
+                raise InvalidShortcutError(f"part {index} is empty")
+            if seen & part:
+                raise InvalidShortcutError("parts are not disjoint")
+            seen |= part
+            if not nx.is_connected(self.graph.subgraph(part)):
+                raise InvalidShortcutError(f"part {index} is not connected")
+        for index, edges in enumerate(self.edge_sets):
+            for u, v in edges:
+                if not self.graph.has_edge(u, v):
+                    raise InvalidShortcutError(
+                        f"shortcut edge ({u}, {v}) of part {index} is not a graph edge"
+                    )
+            if require_tree_restricted and not edges <= self._tree_edges:
+                bad = next(iter(edges - self._tree_edges))
+                raise InvalidShortcutError(
+                    f"shortcut edge {bad} of part {index} is not a tree edge "
+                    "(Definition 10 requires T-restriction)"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"Shortcut(constructor={self.constructor!r}, parts={self.num_parts}, "
+            f"edges={sum(len(e) for e in self.edge_sets)})"
+        )

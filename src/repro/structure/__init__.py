@@ -1,0 +1,44 @@
+"""Structural tools used by the shortcut constructions.
+
+This subpackage hosts the combinatorial machinery of Sections 2.2 and 2.3
+that is *not* itself a shortcut: rooted spanning trees and Steiner subtrees,
+treewidth decompositions (Lemma 2/3), heavy-light decompositions and the
+decomposition-tree folding of Theorem 7, cell partitions (Definition 14),
+beta-cell-assignments (Definition 15, Lemmas 5/6), and s-combinatorial gates
+(Definition 17, Lemma 7).
+"""
+
+from .spanning import RootedTree, bfs_spanning_tree, graph_diameter, steiner_tree_edges
+from .tree_decomposition import (
+    TreeDecomposition,
+    genus_vortex_decomposition,
+    greedy_tree_decomposition,
+    validate_tree_decomposition,
+)
+from .heavy_light import FoldedDecompositionTree, fold_decomposition_tree, heavy_light_chains
+from .cells import CellPartition, cells_from_tree_without_apices, merge_cells_touching
+from .cell_assignment import CellAssignment, compute_cell_assignment
+from .gates import CombinatorialGate, GateCollection, planar_gates, trivial_gates, validate_gates
+
+__all__ = [
+    "CellAssignment",
+    "CellPartition",
+    "CombinatorialGate",
+    "FoldedDecompositionTree",
+    "GateCollection",
+    "RootedTree",
+    "TreeDecomposition",
+    "bfs_spanning_tree",
+    "cells_from_tree_without_apices",
+    "compute_cell_assignment",
+    "fold_decomposition_tree",
+    "genus_vortex_decomposition",
+    "graph_diameter",
+    "greedy_tree_decomposition",
+    "heavy_light_chains",
+    "merge_cells_touching",
+    "planar_gates",
+    "steiner_tree_edges",
+    "trivial_gates",
+    "validate_gates",
+]

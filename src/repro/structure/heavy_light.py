@@ -1,0 +1,278 @@
+"""Heavy-light decomposition and decomposition-tree folding (Theorem 7).
+
+The global-shortcut congestion of the clique-sum construction (Lemma 1) pays
+a factor equal to the *depth* of the clique-sum decomposition tree ``DT``.
+Theorem 7 removes this dependence by compressing ``DT`` to depth
+``O(log^2 n)``:
+
+1. compute a heavy-light decomposition of ``DT`` (Harel--Tarjan), splitting
+   it into vertex-disjoint *heavy chains* such that any root-to-leaf path
+   meets ``O(log n)`` chains;
+2. *fold* each chain like a balanced binary search tree: the chain's first,
+   middle and last bags become one node of the new tree, and the two halves
+   are folded recursively (Figure 4 of the paper).
+
+The folded tree's nodes are therefore *groups* of up to three original bags,
+and an edge of the folded tree can carry up to two partial cliques (the
+"double edges" discussed in the proof).  The clique-sum shortcut constructor
+consumes the folded tree through the :class:`FoldedDecompositionTree`
+interface, which deliberately mirrors what the proof needs: per-group vertex
+sets, per-group member bags, and the partial cliques hanging off each group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+import networkx as nx
+
+from ..errors import InvalidDecompositionError
+from ..graphs.clique_sum import CliqueSumDecomposition
+
+
+def heavy_light_chains(tree: nx.Graph, root: Hashable) -> list[list[Hashable]]:
+    """Split a rooted tree into heavy chains (Harel--Tarjan heavy-light paths).
+
+    Every non-leaf node is connected to the child with the largest subtree;
+    maximal paths of such heavy edges form the chains.  Any root-to-leaf path
+    intersects at most ``log2(n) + 1`` chains, the property the folding step
+    relies on.  The returned chains are ordered root-to-leaf and partition
+    the vertex set.
+    """
+    if tree.number_of_nodes() == 0:
+        return []
+    if root not in tree:
+        raise InvalidDecompositionError(f"root {root} is not a node of the tree")
+    # Iterative DFS to compute subtree sizes (avoids recursion limits).
+    parent: dict[Hashable, Hashable | None] = {root: None}
+    order: list[Hashable] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        order.append(node)
+        for neighbour in tree.neighbors(node):
+            if neighbour not in parent:
+                parent[neighbour] = node
+                stack.append(neighbour)
+    size = {node: 1 for node in parent}
+    for node in reversed(order):
+        if parent[node] is not None:
+            size[parent[node]] += size[node]
+
+    heavy_child: dict[Hashable, Hashable | None] = {}
+    for node in parent:
+        children = [c for c in tree.neighbors(node) if parent.get(c) == node]
+        heavy_child[node] = max(children, key=lambda c: (size[c], repr(c))) if children else None
+
+    chains: list[list[Hashable]] = []
+    chain_of: set[Hashable] = set()
+    for node in order:  # root first, so chain heads are discovered top-down
+        if node in chain_of:
+            continue
+        chain = [node]
+        chain_of.add(node)
+        current = node
+        while heavy_child[current] is not None:
+            current = heavy_child[current]
+            chain.append(current)
+            chain_of.add(current)
+        chains.append(chain)
+    return chains
+
+
+@dataclass
+class FoldedDecompositionTree:
+    """A depth-compressed view of a clique-sum decomposition tree.
+
+    Attributes:
+        decomposition: the original :class:`CliqueSumDecomposition`.
+        tree: the folded tree; its nodes are integers (group ids).
+        groups: mapping group id -> tuple of original bag indices merged into
+            that node (1 to 3 bags per group).
+        root: the root group id.
+    """
+
+    decomposition: CliqueSumDecomposition
+    tree: nx.Graph
+    groups: dict[int, tuple[int, ...]]
+    root: int
+
+    # Caches, populated lazily.
+    _group_vertices: dict[int, frozenset] = field(default_factory=dict, repr=False)
+    _group_of_bag: dict[int, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        for group, bags in self.groups.items():
+            for bag in bags:
+                self._group_of_bag[bag] = group
+
+    def group_of_bag(self, bag_index: int) -> int:
+        return self._group_of_bag[bag_index]
+
+    def group_vertices(self, group: int) -> frozenset:
+        """Return the union of the vertex sets of the group's member bags."""
+        if group not in self._group_vertices:
+            vertices: set = set()
+            for bag_index in self.groups[group]:
+                vertices |= self.decomposition.bags[bag_index].nodes
+            self._group_vertices[group] = frozenset(vertices)
+        return self._group_vertices[group]
+
+    def depth(self) -> int:
+        if self.tree.number_of_nodes() <= 1:
+            return 0
+        lengths = nx.single_source_shortest_path_length(self.tree, self.root)
+        return max(lengths.values())
+
+    def member_bags(self, group: int) -> tuple[int, ...]:
+        return self.groups[group]
+
+    def validate(self) -> None:
+        """Check that the folding is a partition of the original bags into a tree."""
+        if self.tree.number_of_nodes() > 0 and not nx.is_tree(self.tree):
+            raise InvalidDecompositionError("folded decomposition is not a tree")
+        seen: set[int] = set()
+        for group, bags in self.groups.items():
+            if group not in self.tree:
+                raise InvalidDecompositionError(f"group {group} missing from folded tree")
+            if not 1 <= len(bags) <= 3:
+                raise InvalidDecompositionError(
+                    f"group {group} merges {len(bags)} bags; folding only ever merges 1-3"
+                )
+            for bag in bags:
+                if bag in seen:
+                    raise InvalidDecompositionError(f"bag {bag} appears in two groups")
+                seen.add(bag)
+        if seen != set(self.decomposition.bags.keys()):
+            raise InvalidDecompositionError("folded groups do not partition the bag set")
+
+
+def _fold_chain(chain: Sequence[int]) -> tuple[list[tuple[int, ...]], list[tuple[int, int]], int]:
+    """Fold a single heavy chain into a balanced binary structure.
+
+    Returns ``(groups, edges, root_index)`` where ``groups`` is a list of bag
+    tuples (each of size 1-3), ``edges`` connects group list indices, and
+    ``root_index`` is the index of the group containing the chain's head.
+    The construction follows the paper's Figure 4: the first, middle and last
+    bag of the chain become one group; the two remaining sub-chains are
+    folded recursively and attached below it.
+    """
+    groups: list[tuple[int, ...]] = []
+    edges: list[tuple[int, int]] = []
+
+    def fold(lo: int, hi: int) -> int | None:
+        """Fold chain[lo..hi] inclusive; return the index of the root group."""
+        if lo > hi:
+            return None
+        if hi - lo + 1 <= 3:
+            groups.append(tuple(chain[lo : hi + 1]))
+            return len(groups) - 1
+        mid = (lo + hi) // 2
+        groups.append((chain[lo], chain[mid], chain[hi]))
+        root_index = len(groups) - 1
+        left = fold(lo + 1, mid - 1)
+        right = fold(mid + 1, hi - 1)
+        if left is not None:
+            edges.append((root_index, left))
+        if right is not None:
+            edges.append((root_index, right))
+        return root_index
+
+    root_index = fold(0, len(chain) - 1)
+    assert root_index is not None
+    return groups, edges, root_index
+
+
+def fold_decomposition_tree(
+    decomposition: CliqueSumDecomposition, root_bag: int | None = None
+) -> FoldedDecompositionTree:
+    """Compress a clique-sum decomposition tree to depth ``O(log^2 n)``.
+
+    Implements Theorem 7's compression: heavy-light decompose the rooted
+    decomposition tree, fold every chain, and re-attach each folded chain to
+    the group containing its head's parent.  Each folded-tree node groups at
+    most three original bags, each root-to-leaf path of the folded tree
+    visits ``O(log)`` groups per chain and ``O(log)`` chains, giving
+    ``O(log^2)`` depth overall.
+    """
+    tree = decomposition.tree
+    if tree.number_of_nodes() == 0:
+        raise InvalidDecompositionError("cannot fold an empty decomposition tree")
+    root_bag = root_bag if root_bag is not None else min(tree.nodes())
+    chains = heavy_light_chains(tree, root_bag)
+
+    # Parent map of the original (rooted) decomposition tree.
+    parent: dict[int, int | None] = {root_bag: None}
+    stack = [root_bag]
+    while stack:
+        node = stack.pop()
+        for neighbour in tree.neighbors(node):
+            if neighbour not in parent:
+                parent[neighbour] = node
+                stack.append(neighbour)
+
+    folded = nx.Graph()
+    groups: dict[int, tuple[int, ...]] = {}
+    chain_root_group: dict[int, int] = {}  # chain head bag -> its folded root group id
+    group_of_bag: dict[int, int] = {}
+    next_group = 0
+
+    for chain in chains:
+        chain_groups, chain_edges, chain_root_index = _fold_chain(chain)
+        offset = next_group
+        for local_index, bags in enumerate(chain_groups):
+            group_id = offset + local_index
+            groups[group_id] = bags
+            folded.add_node(group_id)
+            for bag in bags:
+                group_of_bag[bag] = group_id
+        for a, b in chain_edges:
+            folded.add_edge(offset + a, offset + b)
+        chain_root_group[chain[0]] = offset + chain_root_index
+        next_group += len(chain_groups)
+
+    # Attach each chain's folded root below the group containing the chain
+    # head's parent bag (for the root chain there is nothing to attach).
+    for chain in chains:
+        head = chain[0]
+        head_parent = parent[head]
+        if head_parent is None:
+            continue
+        folded.add_edge(chain_root_group[head], group_of_bag[head_parent])
+
+    result = FoldedDecompositionTree(
+        decomposition=decomposition,
+        tree=folded,
+        groups=groups,
+        root=chain_root_group[chains[0][0]],
+    )
+    result.validate()
+    return result
+
+
+def identity_folding(decomposition: CliqueSumDecomposition, root_bag: int | None = None) -> FoldedDecompositionTree:
+    """Return the trivial folding where every group is a single original bag.
+
+    Used as the *ablation* arm of experiment E3: running the clique-sum
+    shortcut construction on the unfolded tree exposes the ``k * depth(DT)``
+    congestion term of Lemma 1 that the heavy-light folding removes.
+    """
+    tree = decomposition.tree
+    root_bag = root_bag if root_bag is not None else min(tree.nodes())
+    folded = nx.Graph()
+    groups = {}
+    for index, bag in enumerate(sorted(tree.nodes())):
+        groups[index] = (bag,)
+    bag_to_group = {bags[0]: g for g, bags in groups.items()}
+    folded.add_nodes_from(groups.keys())
+    for a, b in tree.edges():
+        folded.add_edge(bag_to_group[a], bag_to_group[b])
+    result = FoldedDecompositionTree(
+        decomposition=decomposition,
+        tree=folded,
+        groups=groups,
+        root=bag_to_group[root_bag],
+    )
+    result.validate()
+    return result

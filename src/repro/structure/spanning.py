@@ -1,0 +1,324 @@
+"""Rooted spanning trees and tree utilities (BFS trees, Steiner subtrees).
+
+Tree-restricted shortcuts (Definition 10) are always stated with respect to a
+spanning tree ``T``; Theorem 1 instantiates ``T`` as a BFS tree of the
+network, whose depth is at most the network diameter ``D``.  This module
+provides the :class:`RootedTree` wrapper that every shortcut constructor
+works with: parent/child/depth maps, ancestor queries, tree paths, Steiner
+subtrees of a terminal set, and the "contract-to-a-vertex-subset" minor used
+by the clique-sum local shortcuts (the repaired tree ``T^2_h`` of Theorem 7).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Sequence
+
+import networkx as nx
+
+from ..errors import InvalidGraphError
+from ..utils import canonical_edge, require_connected
+
+Edge = tuple[Hashable, Hashable]
+
+
+class RootedTree:
+    """A rooted spanning tree with O(1) parent/depth lookups.
+
+    The tree is stored as a parent map; edges are exposed in canonical
+    (sorted-repr) form so that they can be compared against shortcut edge
+    sets without worrying about orientation.
+    """
+
+    def __init__(self, parent: dict[Hashable, Hashable | None], root: Hashable) -> None:
+        if parent.get(root, "missing") is not None:
+            raise InvalidGraphError("the root must map to parent None")
+        self.root = root
+        self.parent: dict[Hashable, Hashable | None] = dict(parent)
+        self.depth: dict[Hashable, int] = {}
+        self.children: dict[Hashable, list[Hashable]] = {node: [] for node in parent}
+        for node, par in parent.items():
+            if par is not None:
+                if par not in parent:
+                    raise InvalidGraphError(f"parent {par} of {node} is not a tree node")
+                self.children[par].append(node)
+        self._compute_depths()
+
+    def _compute_depths(self) -> None:
+        self.depth[self.root] = 0
+        queue: deque[Hashable] = deque([self.root])
+        visited = 1
+        while queue:
+            node = queue.popleft()
+            for child in self.children[node]:
+                self.depth[child] = self.depth[node] + 1
+                queue.append(child)
+                visited += 1
+        if visited != len(self.parent):
+            raise InvalidGraphError("parent map does not describe a single rooted tree")
+
+    # -- basic accessors ------------------------------------------------
+
+    @property
+    def nodes(self) -> set[Hashable]:
+        return set(self.parent.keys())
+
+    def edges(self) -> set[Edge]:
+        """Return all tree edges in canonical form."""
+        return {
+            canonical_edge(node, par)
+            for node, par in self.parent.items()
+            if par is not None
+        }
+
+    def edge_set(self) -> frozenset[Edge]:
+        return frozenset(self.edges())
+
+    @property
+    def height(self) -> int:
+        """Return the height (maximum depth) of the rooted tree."""
+        return max(self.depth.values(), default=0)
+
+    def diameter(self) -> int:
+        """Return the diameter (in hops) of the tree, at most twice the height."""
+        graph = self.as_graph()
+        if graph.number_of_nodes() <= 1:
+            return 0
+        start = next(iter(graph.nodes()))
+        far = max(nx.single_source_shortest_path_length(graph, start).items(), key=lambda kv: kv[1])[0]
+        eccentricity = nx.single_source_shortest_path_length(graph, far)
+        return max(eccentricity.values())
+
+    def as_graph(self) -> nx.Graph:
+        """Return the tree as a :class:`networkx.Graph`."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self.parent.keys())
+        for node, par in self.parent.items():
+            if par is not None:
+                graph.add_edge(node, par)
+        return graph
+
+    # -- paths and ancestors ---------------------------------------------
+
+    def path_to_root(self, node: Hashable) -> list[Hashable]:
+        """Return the node sequence from ``node`` up to the root (inclusive)."""
+        path = [node]
+        while self.parent[path[-1]] is not None:
+            path.append(self.parent[path[-1]])
+        return path
+
+    def lowest_common_ancestor(self, u: Hashable, v: Hashable) -> Hashable:
+        """Return the LCA of ``u`` and ``v`` (linear-time walk, fine for our sizes)."""
+        du, dv = self.depth[u], self.depth[v]
+        while du > dv:
+            u = self.parent[u]
+            du -= 1
+        while dv > du:
+            v = self.parent[v]
+            dv -= 1
+        while u != v:
+            u = self.parent[u]
+            v = self.parent[v]
+        return u
+
+    def tree_path(self, u: Hashable, v: Hashable) -> list[Hashable]:
+        """Return the unique tree path from ``u`` to ``v`` (inclusive of both)."""
+        ancestor = self.lowest_common_ancestor(u, v)
+        up: list[Hashable] = []
+        node = u
+        while node != ancestor:
+            up.append(node)
+            node = self.parent[node]
+        down: list[Hashable] = []
+        node = v
+        while node != ancestor:
+            down.append(node)
+            node = self.parent[node]
+        return up + [ancestor] + list(reversed(down))
+
+    def path_edges(self, u: Hashable, v: Hashable) -> set[Edge]:
+        """Return the canonical edges of the tree path between ``u`` and ``v``."""
+        path = self.tree_path(u, v)
+        return {canonical_edge(a, b) for a, b in zip(path, path[1:])}
+
+    def subtree_nodes(self, node: Hashable) -> set[Hashable]:
+        """Return all nodes in the subtree rooted at ``node`` (including it)."""
+        result: set[Hashable] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            result.add(current)
+            stack.extend(self.children[current])
+        return result
+
+    # -- derived structures ----------------------------------------------
+
+    def steiner_tree_edges(self, terminals: Iterable[Hashable]) -> set[Edge]:
+        """Return the edges of the minimal subtree of T spanning ``terminals``.
+
+        Computed by taking the union of root-paths of all terminals and then
+        repeatedly pruning non-terminal leaves; linear in the size of the
+        union, which is all the precision the shortcut constructors need.
+        """
+        terminal_set = set(terminals)
+        if not terminal_set:
+            return set()
+        for t in terminal_set:
+            if t not in self.parent:
+                raise InvalidGraphError(f"terminal {t} is not a node of the tree")
+        # Union of root paths.
+        marked: set[Hashable] = set()
+        for t in terminal_set:
+            node = t
+            while node is not None and node not in marked:
+                marked.add(node)
+                node = self.parent[node]
+        # Prune non-terminal leaves of the marked subtree.
+        subtree = nx.Graph()
+        subtree.add_nodes_from(marked)
+        for node in marked:
+            par = self.parent[node]
+            if par is not None and par in marked:
+                subtree.add_edge(node, par)
+        changed = True
+        while changed:
+            changed = False
+            for node in list(subtree.nodes()):
+                if node not in terminal_set and subtree.degree(node) <= 1:
+                    subtree.remove_node(node)
+                    changed = True
+        return {canonical_edge(u, v) for u, v in subtree.edges()}
+
+    def contract_to(self, keep: Iterable[Hashable]) -> "RootedTree":
+        """Return the minor of T on the vertex set ``keep`` (the repaired tree T^2).
+
+        Every maximal connected component of discarded vertices is contracted
+        into one arbitrary neighbouring kept vertex, which is exactly the
+        construction of Theorem 7's local-shortcut step: the result is a tree
+        on ``keep`` whose hop-diameter is at most the diameter of ``T``.
+        """
+        keep_set = set(keep)
+        if not keep_set:
+            raise InvalidGraphError("cannot contract a tree onto an empty vertex set")
+        missing = keep_set - self.nodes
+        if missing:
+            raise InvalidGraphError(f"vertices {sorted(missing, key=repr)[:5]} are not tree nodes")
+        tree_graph = self.as_graph()
+        outside = self.nodes - keep_set
+        # Map each outside component to a representative kept neighbour.
+        component_of: dict[Hashable, int] = {}
+        components: list[set[Hashable]] = []
+        for node in outside:
+            if node in component_of:
+                continue
+            component: set[Hashable] = set()
+            stack = [node]
+            while stack:
+                current = stack.pop()
+                if current in component or current not in outside:
+                    continue
+                component.add(current)
+                component_of[current] = len(components)
+                stack.extend(n for n in tree_graph.neighbors(current) if n in outside)
+            components.append(component)
+
+        quotient = nx.Graph()
+        quotient.add_nodes_from(keep_set)
+        component_anchor: dict[int, Hashable] = {}
+        component_border: dict[int, set[Hashable]] = {i: set() for i in range(len(components))}
+        for u, v in tree_graph.edges():
+            u_in, v_in = u in keep_set, v in keep_set
+            if u_in and v_in:
+                quotient.add_edge(u, v)
+            elif u_in and not v_in:
+                component_border[component_of[v]].add(u)
+            elif v_in and not u_in:
+                component_border[component_of[u]].add(v)
+        for index, border in component_border.items():
+            if not border:
+                continue
+            anchor = min(border, key=repr)
+            component_anchor[index] = anchor
+            for other in border:
+                if other != anchor:
+                    quotient.add_edge(anchor, other)
+        if not nx.is_connected(quotient):
+            # This can only happen if T itself was not spanning/connected on
+            # the kept vertices' closure, which validate() rules out.
+            raise InvalidGraphError("contraction produced a disconnected quotient tree")
+        root = min(keep_set, key=repr)
+        return bfs_spanning_tree(quotient, root=root)
+
+    def validate(self, graph: nx.Graph | None = None) -> None:
+        """Check that this is a spanning tree of ``graph`` (if provided)."""
+        tree_graph = self.as_graph()
+        if tree_graph.number_of_edges() != tree_graph.number_of_nodes() - 1:
+            raise InvalidGraphError("rooted tree has the wrong number of edges")
+        if not nx.is_connected(tree_graph):
+            raise InvalidGraphError("rooted tree is not connected")
+        if graph is not None:
+            if set(tree_graph.nodes()) != set(graph.nodes()):
+                raise InvalidGraphError("tree does not span the graph's vertex set")
+            for u, v in tree_graph.edges():
+                if not graph.has_edge(u, v):
+                    raise InvalidGraphError(f"tree edge ({u}, {v}) is not a graph edge")
+
+
+def bfs_spanning_tree(graph: nx.Graph, root: Hashable | None = None) -> RootedTree:
+    """Return a BFS spanning tree of ``graph`` rooted at ``root``.
+
+    The BFS tree's height is at most the eccentricity of the root, hence at
+    most the diameter ``D`` of the graph -- the property Theorem 1 relies on
+    when it plugs ``D`` into the shortcut quality function.
+    """
+    require_connected(graph, "graph")
+    if root is None:
+        root = min(graph.nodes(), key=repr)
+    if root not in graph:
+        raise InvalidGraphError(f"root {root} is not in the graph")
+    parent: dict[Hashable, Hashable | None] = {root: None}
+    queue: deque[Hashable] = deque([root])
+    while queue:
+        node = queue.popleft()
+        for neighbour in sorted(graph.neighbors(node), key=repr):
+            if neighbour not in parent:
+                parent[neighbour] = node
+                queue.append(neighbour)
+    return RootedTree(parent, root)
+
+
+def center_root(graph: nx.Graph) -> Hashable:
+    """Return an approximate centre of the graph (minimises BFS tree height).
+
+    Found by double BFS: the midpoint of an approximately longest shortest
+    path has eccentricity at most ``ceil(D / 2) + 1``; rooting the spanning
+    tree there keeps ``d_T`` close to ``D`` rather than ``2 D``.
+    """
+    require_connected(graph, "graph")
+    start = min(graph.nodes(), key=repr)
+    far = max(nx.single_source_shortest_path_length(graph, start).items(), key=lambda kv: kv[1])[0]
+    lengths = nx.single_source_shortest_path_length(graph, far)
+    farther = max(lengths.items(), key=lambda kv: kv[1])[0]
+    path = nx.shortest_path(graph, far, farther)
+    return path[len(path) // 2]
+
+
+def graph_diameter(graph: nx.Graph, exact_threshold: int = 400) -> int:
+    """Return the diameter of ``graph`` (exact for small graphs, 2-approx above).
+
+    For graphs with more than ``exact_threshold`` nodes the double-BFS lower
+    bound is returned, which is within a factor 2 of the true diameter and is
+    standard practice for experiment bookkeeping at scale.
+    """
+    require_connected(graph, "graph")
+    if graph.number_of_nodes() <= exact_threshold:
+        return nx.diameter(graph)
+    start = min(graph.nodes(), key=repr)
+    far = max(nx.single_source_shortest_path_length(graph, start).items(), key=lambda kv: kv[1])[0]
+    lengths = nx.single_source_shortest_path_length(graph, far)
+    return max(lengths.values())
+
+
+def steiner_tree_edges(tree: RootedTree, terminals: Sequence[Hashable]) -> set[Edge]:
+    """Module-level convenience wrapper around :meth:`RootedTree.steiner_tree_edges`."""
+    return tree.steiner_tree_edges(terminals)

@@ -1,0 +1,58 @@
+"""Shared pytest fixtures: small, deterministic instances used across test modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.minor_free import planar_plus_apex, sample_lk_graph
+from repro.graphs.planar import grid_graph, wheel_graph
+from repro.graphs.weights import assign_random_weights
+from repro.shortcuts.parts import path_parts, tree_fragment_parts
+from repro.structure.spanning import bfs_spanning_tree
+
+
+@pytest.fixture(scope="session")
+def small_grid():
+    """A 6x6 grid: the workhorse planar instance."""
+    return grid_graph(6, 6)
+
+
+@pytest.fixture(scope="session")
+def small_grid_tree(small_grid):
+    return bfs_spanning_tree(small_grid)
+
+
+@pytest.fixture(scope="session")
+def small_grid_parts(small_grid, small_grid_tree):
+    return path_parts(small_grid, small_grid_tree)
+
+
+@pytest.fixture(scope="session")
+def weighted_grid():
+    graph = grid_graph(5, 5)
+    assign_random_weights(graph, seed=5, integer=True)
+    return graph
+
+
+@pytest.fixture(scope="session")
+def apex_witness():
+    """An 8x8 grid plus one apex, with its almost-embeddable witness."""
+    return planar_plus_apex(8, 8, apices=1, seed=3)
+
+
+@pytest.fixture(scope="session")
+def wheel():
+    """The wheel graph on 24 outer nodes plus a hub (the paper's running example)."""
+    return wheel_graph(24)
+
+
+@pytest.fixture(scope="session")
+def lk_sample():
+    """A small L_3 sample with its clique-sum witness."""
+    return sample_lk_graph(num_bags=4, k=3, bag_size=20, seed=7)
+
+
+@pytest.fixture(scope="session")
+def lk_parts(lk_sample):
+    tree = bfs_spanning_tree(lk_sample.graph)
+    return tree, tree_fragment_parts(lk_sample.graph, tree, num_parts=8, seed=9)

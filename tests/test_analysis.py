@@ -1,0 +1,124 @@
+"""Tests for the analysis/experiment harness."""
+
+import math
+
+import pytest
+
+from repro.analysis.experiments import (
+    experiment_apex,
+    experiment_cells_and_gates,
+    experiment_clique_sum,
+    experiment_constructions,
+    experiment_genus_vortex_treewidth,
+    experiment_mincut,
+    experiment_minor_free_quality,
+    experiment_mst_rounds,
+    experiment_planar_quality,
+    experiment_robustness,
+    experiment_treewidth_quality,
+)
+from repro.analysis.quality import (
+    QualityRow,
+    fit_growth_exponent,
+    format_table,
+    quality_sweep,
+    summarize_rows,
+)
+from repro.graphs.planar import grid_graph
+from repro.shortcuts.parts import tree_fragment_parts
+from repro.shortcuts.search import default_constructors
+from repro.structure.spanning import bfs_spanning_tree
+
+
+def test_fit_growth_exponent_recovers_known_power_laws():
+    xs = [2, 4, 8, 16, 32]
+    assert fit_growth_exponent(xs, [x**2 for x in xs]) == pytest.approx(2.0, abs=0.01)
+    assert fit_growth_exponent(xs, [5 * x for x in xs]) == pytest.approx(1.0, abs=0.01)
+    assert math.isnan(fit_growth_exponent([1], [1]))
+
+
+def test_quality_sweep_and_summary_and_table():
+    instances = []
+    for side in (4, 6):
+        graph = grid_graph(side, side)
+        tree = bfs_spanning_tree(graph)
+        parts = tree_fragment_parts(graph, tree, num_parts=4, seed=side)
+        instances.append((f"grid-{side}", graph, parts))
+    rows = quality_sweep(instances, default_constructors())
+    assert len(rows) == 2 * len(default_constructors())
+    assert all(isinstance(row, QualityRow) for row in rows)
+    summary = summarize_rows(rows)
+    assert set(summary.keys()) == set(default_constructors().keys())
+    table = format_table(rows)
+    assert "grid-4" in table and "quality" in table
+
+
+def test_experiment_planar_quality_shape():
+    result = experiment_planar_quality(sides=(5, 8))
+    assert result["experiment"] == "E1-planar-quality"
+    assert len(result["rows"]) == 2
+    # Quality should grow roughly linearly (not quadratically) in the diameter.
+    assert result["quality_vs_diameter_exponent"] < 2.0
+
+
+def test_experiment_treewidth_quality_shape():
+    result = experiment_treewidth_quality(widths=(2, 3), n=40)
+    assert {row["k"] for row in result["rows"]} == {2, 3}
+
+
+def test_experiment_clique_sum_folding_reduces_or_matches_depth_cost():
+    result = experiment_clique_sum(num_bags=6, bag_side=4)
+    assert result["decomposition_depth"] == 5
+    assert result["folded"]["quality"] > 0
+    assert result["unfolded"]["quality"] > 0
+
+
+def test_experiment_apex_wheel_beats_naive():
+    result = experiment_apex(cycle_size=40, grid_side=7)
+    wheel = result["wheel"]
+    assert wheel["apex_quality"] < wheel["naive_quality"]
+    assert wheel["diameter_with_apex"] == 2
+    assert result["grid_plus_apex"]["cell_assignment_max_skipped"] <= 2
+
+
+def test_experiment_minor_free_quality_within_target():
+    result = experiment_minor_free_quality(bag_counts=(3, 4), bag_size=16)
+    for row in result["rows"]:
+        assert row["quality"] <= 6 * row["target_quality"] + 30
+
+
+def test_experiment_mst_rounds_shape():
+    result = experiment_mst_rounds(grid_side=7, lower_bound_paths=5, lower_bound_length=6)
+    planar = result["planar_plus_apex"]
+    assert planar["weight_matches_reference"]
+    assert planar["accelerated_rounds"] > 0
+    assert planar["naive_rounds"] > 0
+
+
+def test_experiment_mincut_ratio_within_epsilon():
+    result = experiment_mincut(grid_side=6, epsilon=1.0)
+    assert result["approximation_ratio"] <= 1.0 + 1.0 + 1e-9
+
+
+def test_experiment_robustness_apex_construction_still_works():
+    result = experiment_robustness(grid_side=7, extra_edges=3)
+    assert result["apex_quality"]["quality"] > 0
+
+
+def test_experiment_genus_vortex_treewidth_within_target():
+    result = experiment_genus_vortex_treewidth(sides=(5, 6))
+    for row in result["rows"]:
+        assert row["measured_width"] <= 4 * row["target_width"]
+
+
+def test_experiment_cells_and_gates_beta_and_s_reported():
+    result = experiment_cells_and_gates(grid_side=8)
+    assert result["beta"] >= 0
+    assert result["max_skipped"] <= 2
+    assert result["gate_s_trivial"] > 0
+
+
+def test_experiment_constructions_reports_figure1_ingredients():
+    result = experiment_constructions()
+    assert result["almost_embeddable"]["apices"] == 1
+    assert result["clique_sum"]["bags"] == 2

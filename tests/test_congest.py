@@ -1,0 +1,172 @@
+"""Tests for the CONGEST simulator, its primitives and part-wise aggregation."""
+
+import networkx as nx
+import pytest
+
+from repro.congest.aggregation import partwise_aggregate
+from repro.congest.node import NodeContext, NodeProgram, message_size_in_words
+from repro.congest.primitives import distributed_bfs_tree, flood_max_id
+from repro.congest.simulator import CongestSimulator
+from repro.errors import SimulationError
+from repro.graphs.planar import grid_graph, wheel_graph
+from repro.shortcuts.baseline import empty_shortcut, steiner_shortcut, whole_tree_shortcut
+from repro.shortcuts.congestion_capped import oblivious_shortcut
+from repro.shortcuts.parts import path_parts, tree_fragment_parts
+from repro.structure.spanning import bfs_spanning_tree
+
+
+# ------------------------------------------------------------------ model basics
+
+
+def test_message_size_accounting():
+    assert message_size_in_words(None) == 0
+    assert message_size_in_words(7) == 1
+    assert message_size_in_words((1, 2.5, 3)) == 3
+    assert message_size_in_words("tag") == 1
+    assert message_size_in_words({"a": 1}) == 2
+
+
+class _ChattyProgram(NodeProgram):
+    """Sends an oversized message in round 1 (used to test enforcement)."""
+
+    def on_start(self):
+        return {
+            neighbour: tuple(range(50)) for neighbour in self.context.neighbours[:1]
+        }
+
+
+class _StrangerProgram(NodeProgram):
+    """Sends to a node that is not a neighbour."""
+
+    def on_start(self):
+        return {("not", "a", "neighbour"): 1}
+
+
+def test_simulator_enforces_bandwidth_and_topology():
+    graph = grid_graph(3, 3)
+    with pytest.raises(SimulationError):
+        CongestSimulator(graph, _ChattyProgram).run()
+    with pytest.raises(SimulationError):
+        CongestSimulator(graph, _StrangerProgram).run()
+
+
+def test_simulator_rejects_disconnected_and_looped_graphs():
+    disconnected = nx.Graph()
+    disconnected.add_nodes_from([0, 1])
+    with pytest.raises(Exception):
+        CongestSimulator(disconnected, NodeProgram)
+    looped = nx.Graph()
+    looped.add_edge(0, 0)
+    looped.add_edge(0, 1)
+    with pytest.raises(Exception):
+        CongestSimulator(looped, NodeProgram)
+
+
+def test_idle_programs_terminate_immediately():
+    graph = grid_graph(3, 3)
+    result = CongestSimulator(graph, NodeProgram).run()
+    assert result.messages == 0
+    assert result.rounds <= 1
+
+
+# ------------------------------------------------------------------ primitives
+
+
+def test_distributed_bfs_tree_matches_distances_and_round_bound():
+    graph = grid_graph(5, 5)
+    tree, stats = distributed_bfs_tree(graph, root=0)
+    distances = nx.single_source_shortest_path_length(graph, 0)
+    assert tree.depth == distances
+    assert stats.rounds <= nx.diameter(graph) + 3
+
+
+def test_distributed_bfs_tree_on_wheel_is_constant_rounds():
+    wheel = wheel_graph(30)
+    hub = max(wheel.nodes(), key=lambda v: wheel.degree(v))
+    tree, stats = distributed_bfs_tree(wheel, root=hub)
+    assert tree.height == 1
+    assert stats.rounds <= 4
+
+
+def test_flood_max_id_elects_unique_leader():
+    graph = grid_graph(4, 4)
+    leader, stats = flood_max_id(graph)
+    assert leader in graph
+    assert stats.rounds <= 2 * nx.diameter(graph) + 4
+
+
+# ------------------------------------------------------------------ aggregation
+
+
+def _central_aggregates(parts, values, combine):
+    result = []
+    for part in parts:
+        items = [values[v] for v in part]
+        aggregate = items[0]
+        for item in items[1:]:
+            aggregate = combine(aggregate, item)
+        result.append(aggregate)
+    return result
+
+
+def test_partwise_aggregate_matches_central_min(small_grid, small_grid_tree, small_grid_parts):
+    shortcut = oblivious_shortcut(small_grid, small_grid_tree, small_grid_parts)
+    values = {v: (v * 7) % 23 for v in small_grid.nodes()}
+    result = partwise_aggregate(shortcut, values, combine=min)
+    assert result.values == _central_aggregates(small_grid_parts, values, min)
+    assert result.rounds > 0
+    assert max(result.per_part_rounds) <= result.rounds
+
+
+def test_partwise_aggregate_matches_central_sum(small_grid, small_grid_tree):
+    parts = tree_fragment_parts(small_grid, small_grid_tree, num_parts=5, seed=3)
+    shortcut = steiner_shortcut(small_grid, small_grid_tree, parts)
+    values = {v: 1 for v in small_grid.nodes()}
+    result = partwise_aggregate(shortcut, values, combine=lambda a, b: a + b)
+    assert result.values == [len(part) for part in parts]
+
+
+def test_partwise_aggregate_single_vertex_parts(small_grid, small_grid_tree):
+    parts = [frozenset({v}) for v in list(small_grid.nodes())[:10]]
+    shortcut = empty_shortcut(small_grid, small_grid_tree, parts)
+    values = {v: v for v in small_grid.nodes()}
+    result = partwise_aggregate(shortcut, values, combine=min)
+    assert result.values == [next(iter(p)) for p in parts]
+    assert result.rounds == 0
+
+
+def test_partwise_aggregate_missing_value_raises(small_grid, small_grid_tree, small_grid_parts):
+    shortcut = empty_shortcut(small_grid, small_grid_tree, small_grid_parts)
+    with pytest.raises(SimulationError):
+        partwise_aggregate(shortcut, {0: 1}, combine=min)
+
+
+def test_congestion_serialises_shared_edges(wheel):
+    """Many parts sharing the hub's tree edges must pay congestion in rounds."""
+    hub = max(wheel.nodes(), key=lambda v: wheel.degree(v))
+    tree = bfs_spanning_tree(wheel, root=hub)
+    outer = sorted(set(wheel.nodes()) - {hub})
+    # Parts: consecutive arcs of the outer cycle.
+    arc = len(outer) // 4
+    parts = [frozenset(outer[i * arc : (i + 1) * arc]) for i in range(4)]
+    whole = whole_tree_shortcut(wheel, tree, parts)
+    lean = oblivious_shortcut(wheel, tree, parts)
+    values = {v: v for v in wheel.nodes()}
+    rounds_whole = partwise_aggregate(whole, values, combine=min).rounds
+    rounds_lean = partwise_aggregate(lean, values, combine=min).rounds
+    assert rounds_lean <= rounds_whole + 2  # pruning congestion never hurts much
+
+
+def test_aggregation_on_wheel_beats_no_shortcut(wheel):
+    """The paper's motivating example: the outer cycle aggregates slowly alone."""
+    hub = max(wheel.nodes(), key=lambda v: wheel.degree(v))
+    tree = bfs_spanning_tree(wheel, root=hub)
+    outer = frozenset(set(wheel.nodes()) - {hub})
+    values = {v: v for v in wheel.nodes()}
+    from repro.shortcuts.apex import apex_shortcut
+
+    with_shortcut = apex_shortcut(wheel, tree, [outer], apices=[hub])
+    without = empty_shortcut(wheel, tree, [outer])
+    fast = partwise_aggregate(with_shortcut, values, combine=min).rounds
+    slow = partwise_aggregate(without, values, combine=min).rounds
+    assert fast < slow

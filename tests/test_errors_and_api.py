@@ -1,0 +1,47 @@
+"""Tests for the exception hierarchy and the top-level public API surface."""
+
+import repro
+from repro.errors import (
+    ConvergenceError,
+    InvalidDecompositionError,
+    InvalidGraphError,
+    InvalidPartitionError,
+    InvalidShortcutError,
+    ReproError,
+    SimulationError,
+)
+
+
+def test_all_exceptions_derive_from_repro_error():
+    for exc in (
+        InvalidGraphError,
+        InvalidPartitionError,
+        InvalidDecompositionError,
+        InvalidShortcutError,
+        SimulationError,
+        ConvergenceError,
+    ):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+
+def test_public_api_exports_exist_and_are_callable_or_classes():
+    for name in repro.__all__:
+        attribute = getattr(repro, name)
+        assert attribute is not None, name
+
+
+def test_version_is_exposed():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_quickstart_snippet_from_readme_works():
+    sample = repro.sample_lk_graph(num_bags=3, k=3, bag_size=16, seed=1)
+    tree = repro.bfs_spanning_tree(sample.graph)
+    parts = repro.tree_fragment_parts(sample.graph, tree, num_parts=4, seed=2)
+    shortcut = repro.minor_free_shortcut(sample, tree, parts)
+    measure = shortcut.measure()
+    assert measure.quality > 0
+    repro.assign_random_weights(sample.graph, seed=3)
+    result = repro.boruvka_mst(sample.graph)
+    assert abs(result.weight - repro.reference_mst_weight(sample.graph)) < 1e-6

@@ -1,0 +1,194 @@
+"""Tests for every shortcut constructor: validity plus family-specific bounds."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import InvalidGraphError, InvalidShortcutError
+from repro.graphs.apex_vortex import build_almost_embeddable
+from repro.graphs.clique_sum import clique_sum_compose
+from repro.graphs.planar import grid_graph, wheel_graph
+from repro.graphs.treewidth import random_partial_ktree
+from repro.shortcuts.apex import apex_shortcut, apex_shortcut_from_witness
+from repro.shortcuts.baseline import empty_shortcut, steiner_shortcut, whole_tree_shortcut
+from repro.shortcuts.clique_sum import clique_sum_shortcut
+from repro.shortcuts.congestion_capped import congestion_capped_shortcut, oblivious_shortcut
+from repro.shortcuts.genus_vortex import genus_vortex_shortcut
+from repro.shortcuts.minor_free import minor_free_quality_bounds, minor_free_shortcut
+from repro.shortcuts.parts import tree_fragment_parts
+from repro.shortcuts.planar import planar_shortcut
+from repro.shortcuts.search import best_shortcut, measure_constructors
+from repro.shortcuts.treewidth import treewidth_shortcut
+from repro.structure.spanning import bfs_spanning_tree
+
+
+# -------------------------------------------------------------- baselines
+
+
+def test_empty_shortcut_has_zero_congestion(small_grid, small_grid_tree, small_grid_parts):
+    shortcut = empty_shortcut(small_grid, small_grid_tree, small_grid_parts)
+    shortcut.validate()
+    assert shortcut.congestion() == 0
+    assert shortcut.block_parameter() == max(len(part) for part in small_grid_parts)
+
+
+def test_whole_tree_shortcut_has_block_one_and_congestion_num_parts(
+    small_grid, small_grid_tree, small_grid_parts
+):
+    shortcut = whole_tree_shortcut(small_grid, small_grid_tree, small_grid_parts)
+    shortcut.validate()
+    assert shortcut.block_parameter() == 1
+    assert shortcut.congestion() == len(small_grid_parts)
+
+
+def test_steiner_shortcut_has_block_one(small_grid, small_grid_tree, small_grid_parts):
+    shortcut = steiner_shortcut(small_grid, small_grid_tree, small_grid_parts)
+    shortcut.validate()
+    assert shortcut.block_parameter() == 1
+    assert shortcut.congestion() <= len(small_grid_parts)
+
+
+# -------------------------------------------------------------- congestion capped
+
+
+def test_congestion_capped_respects_budget(small_grid, small_grid_tree, small_grid_parts):
+    for budget in (1, 2, 4):
+        shortcut = congestion_capped_shortcut(
+            small_grid, small_grid_tree, small_grid_parts, congestion_budget=budget
+        )
+        shortcut.validate()
+        assert shortcut.congestion() <= budget
+
+
+def test_oblivious_shortcut_never_worse_than_steiner_or_whole_tree(
+    small_grid, small_grid_tree, small_grid_parts
+):
+    oblivious = oblivious_shortcut(small_grid, small_grid_tree, small_grid_parts)
+    steiner = steiner_shortcut(small_grid, small_grid_tree, small_grid_parts)
+    whole = whole_tree_shortcut(small_grid, small_grid_tree, small_grid_parts)
+    assert oblivious.quality() <= min(steiner.quality(), whole.quality())
+
+
+# -------------------------------------------------------------- planar / treewidth
+
+
+def test_planar_shortcut_validates_and_rejects_nonplanar(small_grid, small_grid_tree, small_grid_parts):
+    shortcut = planar_shortcut(small_grid, small_grid_tree, small_grid_parts)
+    shortcut.validate()
+    with pytest.raises(InvalidGraphError):
+        planar_shortcut(nx.complete_graph(6), parts=[frozenset({0, 1})])
+
+
+def test_treewidth_shortcut_block_parameter_scales_with_width():
+    witness = random_partial_ktree(40, 2, seed=5)
+    graph = witness.graph
+    tree = bfs_spanning_tree(graph)
+    parts = tree_fragment_parts(graph, tree, num_parts=6, seed=6)
+    shortcut = treewidth_shortcut(graph, tree, parts)
+    shortcut.validate()
+    # Theorem 5 shape: block = O(k) (constant in n); allow a generous constant.
+    assert shortcut.block_parameter() <= 8 * (witness.width + 1)
+
+
+# -------------------------------------------------------------- clique sums
+
+
+def test_clique_sum_shortcut_requires_witness(small_grid, small_grid_tree, small_grid_parts):
+    with pytest.raises(InvalidShortcutError):
+        clique_sum_shortcut(small_grid, small_grid_tree, small_grid_parts, decomposition=None)
+
+
+def test_clique_sum_shortcut_folded_and_unfolded_are_valid():
+    components = [grid_graph(4, 4) for _ in range(6)]
+    decomposition = clique_sum_compose(components, k=3, seed=7, tree_shape="path")
+    graph = decomposition.graph
+    tree = bfs_spanning_tree(graph)
+    parts = tree_fragment_parts(graph, tree, num_parts=8, seed=8)
+    folded = clique_sum_shortcut(graph, tree, parts, decomposition=decomposition, fold=True)
+    unfolded = clique_sum_shortcut(graph, tree, parts, decomposition=decomposition, fold=False)
+    folded.validate()
+    unfolded.validate()
+    # Both serve every part.
+    assert folded.num_parts == unfolded.num_parts == len(parts)
+
+
+# -------------------------------------------------------------- apex
+
+
+def test_apex_shortcut_beats_naive_on_the_wheel(wheel):
+    hub = max(wheel.nodes(), key=lambda v: wheel.degree(v))
+    tree = bfs_spanning_tree(wheel, root=hub)
+    outer = frozenset(set(wheel.nodes()) - {hub})
+    apex = apex_shortcut(wheel, tree, [outer], apices=[hub])
+    apex.validate()
+    naive = empty_shortcut(wheel, tree, [outer])
+    assert apex.quality() < naive.quality()
+    # The wheel has diameter 2, so good shortcut quality must be O(1)-ish.
+    assert apex.quality() <= 12
+
+
+def test_apex_shortcut_gives_whole_tree_to_apex_containing_parts(apex_witness):
+    tree = bfs_spanning_tree(apex_witness.graph)
+    apex = apex_witness.apices[0]
+    neighbour = next(iter(apex_witness.graph.neighbors(apex)))
+    parts = [frozenset({apex, neighbour})]
+    shortcut = apex_shortcut(apex_witness.graph, tree, parts, apices=apex_witness.apices)
+    shortcut.validate()
+    assert shortcut.edge_sets[0] == tree.edge_set()
+
+
+def test_apex_shortcut_from_witness_handles_paths(apex_witness):
+    from repro.shortcuts.parts import path_parts
+
+    tree = bfs_spanning_tree(apex_witness.graph)
+    parts = path_parts(apex_witness.graph, tree)
+    shortcut = apex_shortcut_from_witness(apex_witness, tree, parts)
+    shortcut.validate()
+    assert shortcut.num_parts == len(parts)
+
+
+def test_apex_shortcut_without_apices_falls_back(small_grid, small_grid_tree, small_grid_parts):
+    shortcut = apex_shortcut(small_grid, small_grid_tree, small_grid_parts, apices=[])
+    shortcut.validate()
+
+
+# -------------------------------------------------------------- genus+vortex / minor free
+
+
+def test_genus_vortex_shortcut_rejects_apices():
+    witness = build_almost_embeddable(q=1, g=0, k=1, l=1, base_rows=5, base_cols=5, seed=9)
+    with pytest.raises(InvalidGraphError):
+        genus_vortex_shortcut(witness, parts=[])
+
+
+def test_genus_vortex_shortcut_valid_on_vortex_graph():
+    witness = build_almost_embeddable(q=0, g=0, k=2, l=1, base_rows=6, base_cols=6, seed=10)
+    graph = witness.graph
+    tree = bfs_spanning_tree(graph)
+    parts = tree_fragment_parts(graph, tree, num_parts=5, seed=11)
+    shortcut = genus_vortex_shortcut(witness, tree, parts)
+    shortcut.validate()
+
+
+def test_minor_free_shortcut_quality_within_theorem6_shape(lk_sample, lk_parts):
+    tree, parts = lk_parts
+    shortcut = minor_free_shortcut(lk_sample, tree, parts)
+    shortcut.validate()
+    measure = shortcut.measure()
+    bounds = minor_free_quality_bounds(measure.tree_diameter, lk_sample.number_of_nodes)
+    # The paper's bound is asymptotic; allow a constant factor of 4.
+    assert measure.block <= 4 * max(4.0, bounds["block"])
+    assert measure.quality <= 4 * bounds["quality"] + 20
+
+
+# -------------------------------------------------------------- search helpers
+
+
+def test_measure_constructors_reports_all_names(small_grid, small_grid_parts):
+    results = measure_constructors(small_grid, small_grid_parts)
+    assert set(results.keys()) == {"empty", "whole_tree", "steiner", "oblivious"}
+
+
+def test_best_shortcut_picks_minimum_quality(small_grid, small_grid_parts):
+    best = best_shortcut(small_grid, small_grid_parts)
+    results = measure_constructors(small_grid, small_grid_parts)
+    assert best.quality() <= min(quality.quality for quality in results.values())

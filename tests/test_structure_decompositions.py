@@ -1,0 +1,130 @@
+"""Tests for tree decompositions, heavy-light chains and decomposition folding."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import InvalidDecompositionError
+from repro.graphs.apex_vortex import build_almost_embeddable
+from repro.graphs.clique_sum import clique_sum_compose
+from repro.graphs.planar import grid_graph
+from repro.graphs.treewidth import random_ktree
+from repro.structure.heavy_light import (
+    fold_decomposition_tree,
+    heavy_light_chains,
+    identity_folding,
+)
+from repro.structure.spanning import bfs_spanning_tree
+from repro.structure.tree_decomposition import (
+    genus_vortex_decomposition,
+    greedy_tree_decomposition,
+    treewidth_upper_bound,
+    validate_tree_decomposition,
+)
+
+
+# --------------------------------------------------------- tree decompositions
+
+
+def test_greedy_decomposition_is_valid_for_grid():
+    graph = grid_graph(5, 5)
+    decomposition = greedy_tree_decomposition(graph)
+    decomposition.validate(graph)
+    # Treewidth of an n x n grid is n; the heuristic may overshoot slightly.
+    assert decomposition.width >= 4
+    assert decomposition.width <= 10
+
+
+def test_greedy_decomposition_exact_on_ktrees():
+    witness = random_ktree(25, 3, seed=1)
+    assert treewidth_upper_bound(witness.graph) == 3
+
+
+def test_validate_tree_decomposition_catches_missing_edge():
+    graph = nx.path_graph(4)
+    bad = nx.Graph()
+    bad.add_node(frozenset({0, 1}))
+    bad.add_node(frozenset({2, 3}))
+    bad.add_edge(frozenset({0, 1}), frozenset({2, 3}))
+    with pytest.raises(InvalidDecompositionError):
+        validate_tree_decomposition(graph, bad)  # edge (1, 2) is uncovered
+
+
+def test_single_vertex_decomposition():
+    graph = nx.Graph()
+    graph.add_node(0)
+    decomposition = greedy_tree_decomposition(graph)
+    assert decomposition.width == 0
+
+
+def test_genus_vortex_decomposition_covers_vortex_nodes():
+    witness = build_almost_embeddable(q=0, g=0, k=2, l=1, base_rows=6, base_cols=6, seed=2)
+    decomposition = genus_vortex_decomposition(witness)
+    decomposition.validate(witness.non_apex_graph())
+    vortex_nodes = witness.vortex_nodes()
+    assert vortex_nodes
+    for node in vortex_nodes:
+        assert any(node in bag for bag in decomposition.tree.nodes())
+
+
+def test_genus_vortex_decomposition_width_scales_with_diameter():
+    small = build_almost_embeddable(q=0, g=0, k=1, l=1, base_rows=5, base_cols=5, seed=3)
+    decomposition = genus_vortex_decomposition(small)
+    graph = small.non_apex_graph()
+    diameter = nx.diameter(graph)
+    # Lemma 3: width = O((g+1) k l D); with g=0, k<=2, l=1 allow a generous constant.
+    assert decomposition.width <= 6 * max(1, diameter)
+
+
+# --------------------------------------------------------- heavy-light + folding
+
+
+def test_heavy_light_chains_partition_the_tree():
+    graph = grid_graph(4, 6)
+    tree = bfs_spanning_tree(graph)
+    chains = heavy_light_chains(tree.as_graph(), tree.root)
+    seen = set()
+    for chain in chains:
+        assert not (set(chain) & seen)
+        seen |= set(chain)
+    assert seen == set(graph.nodes())
+
+
+def test_heavy_light_chains_root_to_leaf_crossings_are_logarithmic():
+    # A path: a single chain.  A star: one chain per leaf (but every
+    # root-to-leaf path crosses only 2 chains).
+    path = nx.path_graph(32)
+    assert len(heavy_light_chains(path, 0)) == 1
+    star = nx.star_graph(16)
+    chains = heavy_light_chains(star, 0)
+    assert all(len(chain) <= 2 for chain in chains)
+
+
+def test_fold_decomposition_tree_reduces_depth_of_paths():
+    components = [grid_graph(3, 3) for _ in range(16)]
+    decomposition = clique_sum_compose(components, k=2, seed=4, tree_shape="path")
+    assert decomposition.depth(root=0) == 15
+    folded = fold_decomposition_tree(decomposition, root_bag=0)
+    folded.validate()
+    assert folded.depth() <= 6  # ~ log2(16) groups of a single chain
+    # Folding preserves the bag set as a partition.
+    all_bags = sorted(bag for bags in folded.groups.values() for bag in bags)
+    assert all_bags == sorted(decomposition.bags.keys())
+
+
+def test_identity_folding_preserves_depth():
+    components = [grid_graph(3, 3) for _ in range(6)]
+    decomposition = clique_sum_compose(components, k=2, seed=5, tree_shape="path")
+    identity = identity_folding(decomposition, root_bag=0)
+    identity.validate()
+    assert identity.depth() == decomposition.depth(root=0)
+
+
+def test_folded_group_vertices_union_member_bags():
+    components = [grid_graph(3, 3) for _ in range(5)]
+    decomposition = clique_sum_compose(components, k=2, seed=6, tree_shape="random")
+    folded = fold_decomposition_tree(decomposition)
+    for group in folded.tree.nodes():
+        expected = set()
+        for bag_index in folded.member_bags(group):
+            expected |= decomposition.bags[bag_index].nodes
+        assert folded.group_vertices(group) == frozenset(expected)

@@ -1,0 +1,78 @@
+"""Unit tests for repro.utils."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.errors import InvalidGraphError
+from repro.utils import (
+    canonical_edge,
+    canonical_edges,
+    ensure_rng,
+    invert_mapping,
+    log2_ceil,
+    pairs,
+    relabel_to_integers,
+    require_connected,
+    require_simple,
+)
+
+
+def test_canonical_edge_is_order_independent():
+    assert canonical_edge(1, 2) == canonical_edge(2, 1)
+    assert canonical_edge("a", "b") == canonical_edge("b", "a")
+
+
+def test_canonical_edges_deduplicates_orientations():
+    edges = canonical_edges([(1, 2), (2, 1), (3, 4)])
+    assert len(edges) == 2
+
+
+def test_ensure_rng_accepts_seed_and_instance():
+    rng1 = ensure_rng(42)
+    rng2 = ensure_rng(42)
+    assert rng1.random() == rng2.random()
+    existing = random.Random(7)
+    assert ensure_rng(existing) is existing
+
+
+def test_relabel_to_integers_is_deterministic():
+    graph = nx.path_graph(["c", "a", "b"])
+    relabelled = relabel_to_integers(graph)
+    assert set(relabelled.nodes()) == {0, 1, 2}
+    again = relabel_to_integers(nx.path_graph(["c", "a", "b"]))
+    assert set(relabelled.edges()) == set(again.edges())
+
+
+def test_require_connected_rejects_disconnected_and_empty():
+    disconnected = nx.Graph()
+    disconnected.add_nodes_from([1, 2])
+    with pytest.raises(InvalidGraphError):
+        require_connected(disconnected)
+    with pytest.raises(InvalidGraphError):
+        require_connected(nx.Graph())
+
+
+def test_require_simple_rejects_self_loops():
+    graph = nx.Graph()
+    graph.add_edge(1, 1)
+    with pytest.raises(InvalidGraphError):
+        require_simple(graph)
+
+
+def test_log2_ceil_values_and_errors():
+    assert log2_ceil(1) == 0
+    assert log2_ceil(2) == 1
+    assert log2_ceil(5) == 3
+    with pytest.raises(ValueError):
+        log2_ceil(0)
+
+
+def test_pairs_enumerates_unordered_pairs():
+    assert list(pairs([1, 2, 3])) == [(1, 2), (1, 3), (2, 3)]
+
+
+def test_invert_mapping_groups_keys_by_value():
+    inverse = invert_mapping({1: "a", 2: "a", 3: "b"})
+    assert inverse == {"a": {1, 2}, "b": {3}}
