@@ -1,0 +1,32 @@
+"""S1 -- the scenario-matrix sweep: every family x applicable constructor.
+
+This is the declarative "one entry point" sweep of the scenario engine; the
+CI smoke runs it on the families' tiny sizes.  The same sweep is available
+on the command line as ``python -m repro.scenarios --size tiny``.
+"""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import experiment_scenario_matrix
+from repro.scenarios import family_names
+
+
+def test_s1_scenario_matrix(benchmark):
+    result = run_experiment(
+        benchmark,
+        experiment_scenario_matrix,
+        size="tiny",
+        algorithm="quality",
+    )
+    per_family = result["constructors_per_family"]
+    # Every registered family ran, each through at least two constructors.
+    assert sorted(per_family) == family_names()
+    assert len(per_family) == 7
+    assert all(count >= 2 for count in per_family.values())
+    # The shared instance cache actually deduplicated instance generation.
+    assert result["instance_cache"]["instances"] == 7
+    # Every applicable record carries a measured quality row.
+    for record in result["records"]:
+        if record["applicable"]:
+            row = record["result"]["shortcut"]
+            assert row["quality"] >= row["congestion"]

@@ -1,0 +1,29 @@
+"""S2 -- active-set versus full-scan (seed) simulator on a 2000-node grid MST.
+
+The acceptance gate of the active-set rewrite: the simulator-driven phases
+of a 45x45-grid MST scenario (simulated BFS-tree construction plus result
+broadcast) must run at least 2x faster under the active-set simulator than
+under the seed-faithful full-scan :class:`ReferenceSimulator`, with both
+producing identical results.  On this hardware the measured ratio is ~10x
+for the simulated phases and ~2.5x for the whole MST run.
+"""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import experiment_simulator_speedup
+
+
+def test_s2_simulator_speedup(benchmark):
+    result = run_experiment(
+        benchmark,
+        experiment_simulator_speedup,
+        side=45,
+    )
+    assert result["n"] == 2025
+    # Both simulators agree on every measured quantity (rounds, weights, ...).
+    assert result["results_agree"]
+    assert result["active_set"]["mst_rounds"] == result["full_scan"]["mst_rounds"]
+    # The active-set simulator is at least 2x faster on the simulated phases.
+    assert result["sim_speedup"] >= 2.0
+    # ... and the whole MST run (Boruvka included) got faster, not slower.
+    assert result["total_speedup"] > 1.0

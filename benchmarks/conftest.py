@@ -5,7 +5,14 @@ per "table/figure", i.e. per quantitative claim of the paper), runs it once
 under pytest-benchmark for timing, and prints the measured record so that the
 numbers quoted in EXPERIMENTS.md can be regenerated with::
 
-    pytest benchmarks/ --benchmark-only -s
+    PYTHONPATH=src pytest benchmarks/ --benchmark-only -s
+
+The experiment functions are thin declarative layers over the scenario
+engine (:mod:`repro.scenarios`): instances come from the family registry and
+shortcuts from the constructor registry.  ``bench_scenarios.py`` runs the
+full family x constructor matrix through the engine's single entry point,
+and ``bench_simulator_speedup.py`` gates the active-set simulator's >=2x
+speedup over the seed full-scan implementation.
 """
 
 from __future__ import annotations

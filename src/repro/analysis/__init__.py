@@ -19,6 +19,8 @@ from .experiments import (
     experiment_mst_rounds,
     experiment_planar_quality,
     experiment_robustness,
+    experiment_scenario_matrix,
+    experiment_simulator_speedup,
     experiment_treewidth_quality,
 )
 
@@ -34,6 +36,8 @@ __all__ = [
     "experiment_mst_rounds",
     "experiment_planar_quality",
     "experiment_robustness",
+    "experiment_scenario_matrix",
+    "experiment_simulator_speedup",
     "experiment_treewidth_quality",
     "fit_growth_exponent",
     "quality_sweep",

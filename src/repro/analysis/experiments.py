@@ -5,11 +5,20 @@ quantities and the paper's corresponding target, so that the benchmark
 drivers can simply print them and EXPERIMENTS.md can quote them.  The
 instance sizes default to values that run in a couple of seconds on a laptop;
 the benchmark files pass larger sizes where useful.
+
+The experiments are ported onto the scenario engine
+(:mod:`repro.scenarios`): instances come from the family registry and
+shortcuts from the constructor registry, so every experiment exercises the
+same code paths as a declarative scenario sweep (and the golden-record
+regression test pins the outputs so engine refactors cannot silently drift).
+Bespoke set-ups with no registry counterpart -- the adversarial wheel, the
+perturbed planar graph of E8, the Figure 1 constructions -- remain direct.
 """
 
 from __future__ import annotations
 
 import math
+import time
 from typing import Sequence
 
 import networkx as nx
@@ -21,22 +30,22 @@ from ..algorithms.mst_baselines import (
     no_shortcut_builder,
     paper_reference_rounds,
 )
+from ..congest.reference import ReferenceSimulator
+from ..congest.simulator import CongestSimulator
 from ..graphs.apex_vortex import build_almost_embeddable
 from ..graphs.clique_sum import clique_sum_compose
-from ..graphs.lower_bound import lower_bound_graph
-from ..graphs.minor_free import perturbed_planar_graph, planar_plus_apex, sample_lk_graph
-from ..graphs.planar import grid_graph, is_planar, random_delaunay_triangulation, wheel_graph
-from ..graphs.treewidth import random_partial_ktree
-from ..graphs.weights import assign_random_weights
+from ..graphs.minor_free import perturbed_planar_graph
+from ..graphs.planar import grid_graph, is_planar, wheel_graph
+from ..scenarios.engine import Scenario, build_instance, run_matrix, run_scenario, scenario_matrix
+from ..scenarios.instances import InstanceCache
+from ..scenarios.registry import constructor as scenario_constructor
+from ..graphs.weights import assign_adversarial_weights
 from ..shortcuts.apex import apex_shortcut, apex_shortcut_from_witness
 from ..shortcuts.baseline import empty_shortcut, steiner_shortcut
 from ..shortcuts.clique_sum import clique_sum_shortcut
-from ..shortcuts.congestion_capped import oblivious_shortcut
-from ..shortcuts.genus_vortex import genus_vortex_shortcut
-from ..shortcuts.minor_free import minor_free_quality_bounds, minor_free_shortcut
-from ..shortcuts.parts import boruvka_parts, path_parts, tree_fragment_parts
-from ..shortcuts.planar import planar_quality_bounds, planar_shortcut
-from ..shortcuts.treewidth import treewidth_shortcut
+from ..shortcuts.minor_free import minor_free_quality_bounds
+from ..shortcuts.parts import path_parts
+from ..shortcuts.planar import planar_quality_bounds
 from ..structure.cell_assignment import compute_cell_assignment
 from ..structure.cells import cells_from_tree_without_apices
 from ..structure.gates import planar_gates, trivial_gates, validate_gates
@@ -52,20 +61,20 @@ def experiment_planar_quality(sides: Sequence[int] = (6, 10, 14, 18)) -> dict:
     constructor's block/congestion/quality on path-shaped parts, and fits the
     growth exponent of quality versus tree diameter (target: ~1 up to logs).
     """
+    planar = scenario_constructor("planar")
     rows = []
     diameters = []
     qualities = []
     for side in sides:
-        graph = grid_graph(side, side)
-        tree = bfs_spanning_tree(graph)
-        parts = path_parts(graph, tree)
-        shortcut = planar_shortcut(graph, tree, parts)
+        instance = build_instance("planar", {"side": side})
+        parts = instance.parts("path")
+        shortcut = planar.build(instance, instance.tree, parts)
         measure = shortcut.measure()
         bounds = planar_quality_bounds(measure.tree_diameter)
         rows.append(
             {
                 "side": side,
-                "n": graph.number_of_nodes(),
+                "n": instance.graph.number_of_nodes(),
                 "tree_diameter": measure.tree_diameter,
                 "block": measure.block,
                 "congestion": measure.congestion,
@@ -87,19 +96,18 @@ def experiment_treewidth_quality(
     widths: Sequence[int] = (2, 3, 4), n: int = 60, seed: int = 7
 ) -> dict:
     """E2 -- Theorem 5: treewidth-k shortcut quality versus k."""
+    treewidth = scenario_constructor("treewidth")
     rows = []
     for width in widths:
-        witness = random_partial_ktree(n, width, seed=seed + width)
-        graph = witness.graph
-        tree = bfs_spanning_tree(graph)
-        parts = tree_fragment_parts(graph, tree, num_parts=8, seed=seed + width)
-        shortcut = treewidth_shortcut(graph, tree, parts)
+        instance = build_instance("treewidth", {"n": n, "k": width}, seed=seed + width)
+        parts = instance.parts("tree_fragments", num_parts=8, seed=seed + width)
+        shortcut = treewidth.build(instance, instance.tree, parts)
         measure = shortcut.measure()
-        log_n = math.log2(graph.number_of_nodes() + 2)
+        log_n = math.log2(instance.graph.number_of_nodes() + 2)
         rows.append(
             {
                 "k": width,
-                "n": graph.number_of_nodes(),
+                "n": instance.graph.number_of_nodes(),
                 "block": measure.block,
                 "congestion": measure.congestion,
                 "quality": measure.quality,
@@ -119,14 +127,19 @@ def experiment_clique_sum(
     depth-dependent Lemma 1 congestion) and compares the folded and unfolded
     constructions, plus the per-bag quality for reference.
     """
-    components = [grid_graph(bag_side, bag_side) for _ in range(num_bags)]
-    decomposition = clique_sum_compose(components, k=k, seed=seed, tree_shape="path")
-    graph = decomposition.graph
-    tree = bfs_spanning_tree(graph)
-    parts = tree_fragment_parts(graph, tree, num_parts=10, seed=seed)
-    folded = clique_sum_shortcut(graph, tree, parts, decomposition=decomposition, fold=True)
-    unfolded = clique_sum_shortcut(graph, tree, parts, decomposition=decomposition, fold=False)
-    baseline = oblivious_shortcut(graph, tree, parts)
+    instance = build_instance(
+        "clique_sum",
+        {"num_bags": num_bags, "bag_side": bag_side, "k": k, "tree_shape": "path"},
+        seed=seed,
+    )
+    decomposition = instance.witness
+    tree = instance.tree
+    parts = instance.parts("tree_fragments", num_parts=10, seed=seed)
+    folded = scenario_constructor("clique_sum").build(instance, tree, parts)
+    unfolded = clique_sum_shortcut(
+        instance.graph, tree, parts, decomposition=decomposition, fold=False
+    )
+    baseline = scenario_constructor("oblivious").build(instance, tree, parts)
     return {
         "experiment": "E3-clique-sum",
         "decomposition_depth": decomposition.depth(),
@@ -152,10 +165,13 @@ def experiment_apex(cycle_size: int = 64, grid_side: int = 10, seed: int = 13) -
     apex = apex_shortcut(wheel, tree, [outer], apices=[hub])
     naive = empty_shortcut(wheel, tree, [outer])
 
-    witness = planar_plus_apex(grid_side, grid_side, apices=1, seed=seed)
-    grid_tree = bfs_spanning_tree(witness.graph)
-    parts = path_parts(witness.graph, grid_tree)
-    grid_apex = apex_shortcut_from_witness(witness, grid_tree, parts)
+    instance = build_instance(
+        "apex", {"rows": grid_side, "cols": grid_side, "apices": 1}, seed=seed
+    )
+    witness = instance.witness
+    grid_tree = instance.tree
+    parts = instance.parts("path")
+    grid_apex = scenario_constructor("apex").build(instance, grid_tree, parts)
     cells = cells_from_tree_without_apices(grid_tree, witness.apices)
     assignment = compute_cell_assignment(parts, cells)
     return {
@@ -168,7 +184,7 @@ def experiment_apex(cycle_size: int = 64, grid_side: int = 10, seed: int = 13) -
             "apex_quality": apex.quality(),
         },
         "grid_plus_apex": {
-            "n": witness.graph.number_of_nodes(),
+            "n": instance.graph.number_of_nodes(),
             "quality": grid_apex.measure().as_row(),
             "num_cells": len(cells),
             "cell_assignment_beta": assignment.beta,
@@ -181,14 +197,19 @@ def experiment_minor_free_quality(
     bag_counts: Sequence[int] = (3, 5, 7), k: int = 3, bag_size: int = 25, seed: int = 17
 ) -> dict:
     """E5 -- Theorem 6: quality on sampled L_k graphs versus the O~(d^2) target."""
+    minor_free = scenario_constructor("minor_free")
     rows = []
     diameters = []
     qualities = []
     for num_bags in bag_counts:
-        sample = sample_lk_graph(num_bags=num_bags, k=k, bag_size=bag_size, seed=seed + num_bags)
-        tree = bfs_spanning_tree(sample.graph)
-        parts = tree_fragment_parts(sample.graph, tree, num_parts=2 * num_bags, seed=seed)
-        shortcut = minor_free_shortcut(sample, tree, parts)
+        instance = build_instance(
+            "minor_free",
+            {"num_bags": num_bags, "k": k, "bag_size": bag_size},
+            seed=seed + num_bags,
+        )
+        sample = instance.witness
+        parts = instance.parts("tree_fragments", num_parts=2 * num_bags, seed=seed)
+        shortcut = minor_free.build(instance, instance.tree, parts)
         measure = shortcut.measure()
         bounds = minor_free_quality_bounds(measure.tree_diameter, sample.number_of_nodes)
         rows.append(
@@ -227,33 +248,31 @@ def experiment_mst_rounds(
     lower-bound-style graph where any strategy degrades towards sqrt(n).
     Also reports the analytic reference curves the paper compares against.
     """
-    witness = planar_plus_apex(grid_side, grid_side, apices=1, seed=seed)
-    graph = witness.graph
-    assign_random_weights(graph, seed=seed, integer=True)
-    tree = bfs_spanning_tree(graph)
+    instance = build_instance(
+        "apex", {"rows": grid_side, "cols": grid_side, "apices": 1}, seed=seed
+    )
+    graph = instance.weighted_graph(seed)
+    tree = instance.tree
     diameter = graph_diameter(graph)
 
-    def apex_builder(g, t, parts):
-        return apex_shortcut_from_witness(witness, t, parts)
-
+    apex_builder = scenario_constructor("apex").builder_for(instance)
     accelerated = boruvka_mst(graph, shortcut_builder=apex_builder, tree=tree)
     naive = boruvka_mst(graph, shortcut_builder=no_shortcut_builder, tree=tree)
     reference_weight = reference_mst_weight(graph)
 
-    hard = lower_bound_graph(lower_bound_paths, lower_bound_length)
-    assign_random_weights(hard.graph, seed=seed + 1, integer=True)
-    hard_diameter = graph_diameter(hard.graph)
-    hard_run = boruvka_mst(hard.graph, shortcut_builder=no_shortcut_builder)
+    hard_instance = build_instance(
+        "lower_bound", {"num_paths": lower_bound_paths, "path_length": lower_bound_length}
+    )
+    hard_graph = hard_instance.weighted_graph(seed + 1)
+    hard_diameter = graph_diameter(hard_graph)
+    hard_run = boruvka_mst(hard_graph, shortcut_builder=no_shortcut_builder)
 
     # The separation is most visible when MST fragments are much longer than
     # the graph diameter: the wheel with adversarial weights (Section 1.3.3).
-    from ..graphs.planar import wheel_graph
-    from ..graphs.weights import assign_adversarial_weights
-
     wheel = wheel_graph(6 * grid_side)
     hub = max(wheel.nodes(), key=lambda v: wheel.degree(v))
     spine = sorted(set(wheel.nodes()) - {hub})
-    assign_adversarial_weights(wheel, spine=spine)
+    assign_adversarial_weights(wheel, spine=spine, seed=seed)
     wheel_tree = bfs_spanning_tree(wheel, root=hub)
 
     def wheel_builder(g, t, parts):
@@ -283,11 +302,11 @@ def experiment_mst_rounds(
             ),
         },
         "lower_bound_graph": {
-            "n": hard.graph.number_of_nodes(),
+            "n": hard_graph.number_of_nodes(),
             "diameter": hard_diameter,
             "rounds": hard_run.rounds,
             "general_graph_reference_sqrt_n": gkp_reference_rounds(
-                hard.graph.number_of_nodes(), hard_diameter
+                hard_graph.number_of_nodes(), hard_diameter
             ),
         },
     }
@@ -295,16 +314,15 @@ def experiment_mst_rounds(
 
 def experiment_mincut(grid_side: int = 8, epsilon: float = 1.0, seed: int = 23) -> dict:
     """E7 -- Corollary 1: (1+eps)-approximate min-cut accuracy and rounds."""
-    witness = planar_plus_apex(grid_side, grid_side, apices=1, seed=seed)
-    graph = witness.graph
-    assign_random_weights(graph, low=1, high=10, seed=seed, integer=True)
-    tree = bfs_spanning_tree(graph)
-
-    def apex_builder(g, t, parts):
-        return apex_shortcut_from_witness(witness, t, parts)
-
+    instance = build_instance(
+        "apex", {"rows": grid_side, "cols": grid_side, "apices": 1}, seed=seed
+    )
+    graph = instance.weighted_graph(seed, low=1, high=10)
     result = approximate_min_cut(
-        graph, epsilon=epsilon, shortcut_builder=apex_builder, tree=tree
+        graph,
+        epsilon=epsilon,
+        shortcut_builder=scenario_constructor("apex").builder_for(instance),
+        tree=instance.tree,
     )
     return {
         "experiment": "E7-mincut",
@@ -350,9 +368,12 @@ def experiment_genus_vortex_treewidth(
     """E9 -- Lemma 2/3: Genus+Vortex treewidth scales with (g+1) k l D."""
     rows = []
     for side in sides:
-        witness = build_almost_embeddable(
-            q=0, g=genus, k=depth, l=vortices, base_rows=side, base_cols=side, seed=seed + side
+        instance = build_instance(
+            "genus",
+            {"g": genus, "depth": depth, "vortices": vortices, "side": side},
+            seed=seed + side,
         )
+        witness = instance.witness
         decomposition = genus_vortex_decomposition(witness)
         graph = witness.non_apex_graph()
         diameter = graph_diameter(graph)
@@ -372,8 +393,11 @@ def experiment_genus_vortex_treewidth(
 
 def experiment_cells_and_gates(grid_side: int = 10, seed: int = 37) -> dict:
     """E10 -- Lemmas 4-7: cell assignment beta and combinatorial gate size."""
-    witness = planar_plus_apex(grid_side, grid_side, apices=1, seed=seed)
-    tree = bfs_spanning_tree(witness.graph)
+    instance = build_instance(
+        "apex", {"rows": grid_side, "cols": grid_side, "apices": 1}, seed=seed
+    )
+    witness = instance.witness
+    tree = instance.tree
     surface = witness.non_apex_graph()
     cells = cells_from_tree_without_apices(tree, witness.apices)
     parts = path_parts(surface)
@@ -420,4 +444,98 @@ def experiment_constructions(seed: int = 41) -> dict:
             "shared_clique_size": composition.max_partial_clique_size(),
             "n": composition.graph.number_of_nodes(),
         },
+    }
+
+
+def experiment_scenario_matrix(
+    size: str = "tiny",
+    algorithm: str = "quality",
+    seed: int = 0,
+    families: Sequence[str] | None = None,
+    constructors: Sequence[str] | None = None,
+    num_parts: int = 6,
+) -> dict:
+    """S1 -- the full scenario matrix: every family x applicable constructor.
+
+    This is the "as many scenarios as you can imagine" sweep of the ROADMAP,
+    run through one declarative entry point; the benchmark smoke runs it on
+    tiny sizes, and ``python -m repro.scenarios`` exposes the same sweep on
+    the command line.
+    """
+    cache = InstanceCache()
+    scenarios = scenario_matrix(
+        families=families,
+        constructors=constructors,
+        algorithm_name=algorithm,
+        size=size,
+        seed=seed,
+        parts={"kind": "tree_fragments", "num_parts": num_parts},
+        cache=cache,
+    )
+    records = run_matrix(scenarios, cache=cache)
+    per_family: dict[str, int] = {}
+    for record in records:
+        if record["applicable"]:
+            per_family[record["family"]] = per_family.get(record["family"], 0) + 1
+    return {
+        "experiment": "S1-scenario-matrix",
+        "size": size,
+        "algorithm": algorithm,
+        "num_records": len(records),
+        "constructors_per_family": dict(sorted(per_family.items())),
+        "instance_cache": {"instances": len(cache), "hits": cache.hits, "misses": cache.misses},
+        "records": records,
+    }
+
+
+def experiment_simulator_speedup(
+    side: int = 45, seed: int = 19, constructor: str = "empty"
+) -> dict:
+    """S2 -- active-set versus full-scan simulator on a grid MST scenario.
+
+    Runs the same MST scenario (simulated BFS-tree construction, Boruvka
+    phases, simulated result broadcast) on a ``side x side`` grid twice:
+    once under the active-set :class:`CongestSimulator` and once under the
+    seed-faithful full-scan :class:`ReferenceSimulator`.  Both must agree on
+    every measured quantity; the record reports the wall-clock ratio of the
+    simulator-driven phases (``sim_seconds``), which the benchmark asserts
+    to be at least 2x.
+    """
+    cache = InstanceCache()
+    # Warm the shared cache (instance, spanning tree, weighted copy) so
+    # neither timed run pays for one-off derivations the other gets free.
+    warm = build_instance("planar", {"side": side}, seed=seed, cache=cache)
+    warm.weighted_graph(seed)
+
+    def run(simulator_cls) -> dict:
+        scenario = Scenario(
+            name=f"planar/{constructor}/mst",
+            family="planar",
+            constructor=constructor,
+            algorithm="mst",
+            params={"side": side},
+            seed=seed,
+        )
+        started = time.perf_counter()
+        record = run_scenario(scenario, cache=cache, simulator_cls=simulator_cls)
+        total = time.perf_counter() - started
+        result = dict(record.as_dict()["result"])
+        result["total_seconds"] = total
+        return result
+
+    active = run(CongestSimulator)
+    reference = run(ReferenceSimulator)
+    agree = all(
+        active[key] == reference[key]
+        for key in ("mst_rounds", "mst_phases", "mst_weight", "sim_rounds", "sim_messages")
+    )
+    return {
+        "experiment": "S2-simulator-speedup",
+        "n": side * side,
+        "constructor": constructor,
+        "active_set": {k: active[k] for k in ("mst_rounds", "sim_rounds", "sim_seconds", "total_seconds")},
+        "full_scan": {k: reference[k] for k in ("mst_rounds", "sim_rounds", "sim_seconds", "total_seconds")},
+        "results_agree": agree,
+        "sim_speedup": reference["sim_seconds"] / max(active["sim_seconds"], 1e-9),
+        "total_speedup": reference["total_seconds"] / max(active["total_seconds"], 1e-9),
     }

@@ -21,8 +21,9 @@ Two levels of simulation are provided:
 """
 
 from .node import NodeContext, NodeProgram
-from .simulator import CongestSimulator, SimulationResult
-from .primitives import distributed_bfs_tree, flood_max_id
+from .simulator import CongestSimulator, RoundTelemetry, SimulationResult
+from .reference import ReferenceSimulator
+from .primitives import broadcast_value, distributed_bfs_tree, flood_max_id
 from .aggregation import AggregationResult, partwise_aggregate
 
 __all__ = [
@@ -30,7 +31,10 @@ __all__ = [
     "CongestSimulator",
     "NodeContext",
     "NodeProgram",
+    "ReferenceSimulator",
+    "RoundTelemetry",
     "SimulationResult",
+    "broadcast_value",
     "distributed_bfs_tree",
     "flood_max_id",
     "partwise_aggregate",

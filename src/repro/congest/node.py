@@ -11,11 +11,9 @@ messages are in flight.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Hashable, Mapping
+from typing import Callable, Hashable, Mapping
 
 
-@dataclass(frozen=True)
 class NodeContext:
     """Static information a node knows at the start of the computation.
 
@@ -23,13 +21,49 @@ class NodeContext:
     identifier, its incident edges (with weights), and the global parameters
     ``n`` and an upper bound on the diameter ``D`` (the paper notes these can
     be computed in ``O(D)`` rounds if unknown, which is negligible).
+
+    ``diameter_bound`` may be handed in as a plain integer or as a zero-
+    argument callable; in the latter case it is resolved (and cached) the
+    first time a program reads it.  Programs that never consult ``D`` --
+    most of the primitives -- therefore never pay for a diameter
+    computation, which is what keeps the simulator's set-up cost
+    proportional to the graph size rather than to an all-pairs BFS.
     """
 
-    node: Hashable
-    neighbours: tuple[Hashable, ...]
-    edge_weights: Mapping[Hashable, float]
-    num_nodes: int
-    diameter_bound: int
+    __slots__ = ("node", "neighbours", "edge_weights", "num_nodes", "_diameter_bound")
+
+    def __setattr__(self, name: str, value: object) -> None:
+        # Immutable after construction (like the frozen dataclass it replaces),
+        # except for the lazy diameter cache slot.
+        if name != "_diameter_bound" and hasattr(self, name):
+            raise AttributeError(f"NodeContext.{name} is read-only")
+        object.__setattr__(self, name, value)
+
+    def __init__(
+        self,
+        node: Hashable,
+        neighbours: tuple[Hashable, ...],
+        edge_weights: Mapping[Hashable, float],
+        num_nodes: int,
+        diameter_bound: int | Callable[[], int],
+    ) -> None:
+        self.node = node
+        self.neighbours = neighbours
+        self.edge_weights = edge_weights
+        self.num_nodes = num_nodes
+        self._diameter_bound = diameter_bound
+
+    @property
+    def diameter_bound(self) -> int:
+        if callable(self._diameter_bound):
+            self._diameter_bound = self._diameter_bound()
+        return self._diameter_bound
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"NodeContext(node={self.node!r}, degree={len(self.neighbours)}, "
+            f"n={self.num_nodes})"
+        )
 
 
 class NodeProgram:

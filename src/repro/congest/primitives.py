@@ -1,11 +1,16 @@
 """Basic distributed primitives implemented as genuine CONGEST node programs.
 
 These are the building blocks whose round complexities are textbook facts
-(BFS tree construction and flooding each take ``O(D)`` rounds) and which the
-higher-level algorithms charge as overhead: Boruvka's merge coordination, for
-example, costs one broadcast over the BFS tree per phase.  Running them
-through the real simulator keeps the model honest -- the tests check both
-their outputs and their ``O(D)`` round counts.
+(BFS tree construction, flooding and broadcast each take ``O(D)`` rounds)
+and which the higher-level algorithms charge as overhead: Boruvka's merge
+coordination, for example, costs one broadcast over the BFS tree per phase.
+Running them through the real simulator keeps the model honest -- the tests
+check both their outputs and their ``O(D)`` round counts.
+
+Every primitive accepts a ``simulator_cls`` so that callers (the scenario
+engine, the differential tests, the speedup benchmark) can run the same
+node programs under the active-set :class:`CongestSimulator` or the
+full-scan :class:`repro.congest.reference.ReferenceSimulator`.
 """
 
 from __future__ import annotations
@@ -55,14 +60,18 @@ class _BfsProgram(NodeProgram):
         return self.parent
 
 
-def distributed_bfs_tree(graph: nx.Graph, root: Hashable) -> tuple[RootedTree, SimulationResult]:
+def distributed_bfs_tree(
+    graph: nx.Graph,
+    root: Hashable,
+    simulator_cls: type[CongestSimulator] = CongestSimulator,
+) -> tuple[RootedTree, SimulationResult]:
     """Build a BFS tree with a genuine flooding execution; return tree + stats.
 
     The round count of the returned :class:`SimulationResult` is ``O(D)``,
     which the tests assert; the resulting tree is used as the spanning tree
     ``T`` of the shortcut framework exactly as Theorem 1 prescribes.
     """
-    simulator = CongestSimulator(graph, lambda ctx: _BfsProgram(ctx, root))
+    simulator = simulator_cls(graph, lambda ctx: _BfsProgram(ctx, root))
     result = simulator.run()
     parent = {node: output for node, output in result.outputs.items()}
     parent[root] = None
@@ -99,11 +108,70 @@ class _FloodMaxProgram(NodeProgram):
         return self.best
 
 
-def flood_max_id(graph: nx.Graph) -> tuple[Hashable, SimulationResult]:
+def flood_max_id(
+    graph: nx.Graph,
+    simulator_cls: type[CongestSimulator] = CongestSimulator,
+) -> tuple[Hashable, SimulationResult]:
     """Elect the maximum-id node as the leader by flooding; return (leader, stats)."""
-    simulator = CongestSimulator(graph, _FloodMaxProgram)
+    simulator = simulator_cls(graph, _FloodMaxProgram)
     result = simulator.run()
     leaders = set(result.outputs.values())
     if len(leaders) != 1:
         raise RuntimeError(f"leader election did not converge: {leaders}")
     return next(iter(leaders)), result
+
+
+class _BroadcastProgram(NodeProgram):
+    """Flood a single value from one source to every node (leader announcement)."""
+
+    def __init__(self, context: NodeContext, source: Hashable, value: object) -> None:
+        super().__init__(context)
+        self.source = source
+        self.value: object = value if context.node == source else None
+        self.informed = context.node == source
+
+    def on_start(self) -> dict[Hashable, object]:
+        if self.informed:
+            return {neighbour: ("bc", self.value) for neighbour in self.context.neighbours}
+        return {}
+
+    def on_round(self, round_number: int, inbox: dict[Hashable, object]) -> dict[Hashable, object]:
+        if self.informed:
+            self.halted = True
+            return {}
+        offers = [message[1] for message in inbox.values() if message[0] == "bc"]
+        if not offers:
+            return {}
+        self.value = offers[0]
+        self.informed = True
+        self.halted = True
+        senders = {sender for sender, message in inbox.items() if message[0] == "bc"}
+        return {
+            neighbour: ("bc", self.value)
+            for neighbour in self.context.neighbours
+            if neighbour not in senders
+        }
+
+    def result(self) -> object:
+        return self.value
+
+
+def broadcast_value(
+    graph: nx.Graph,
+    source: Hashable,
+    value: object,
+    simulator_cls: type[CongestSimulator] = CongestSimulator,
+) -> SimulationResult:
+    """Broadcast ``value`` from ``source`` to every node; return the run stats.
+
+    Used by the scenario engine to charge the ``O(D)`` result-announcement
+    phase of the distributed algorithms as a genuine simulated execution.
+    The returned outputs map every node to the received value, which the
+    callers assert for correctness.
+    """
+    simulator = simulator_cls(graph, lambda ctx: _BroadcastProgram(ctx, source, value))
+    result = simulator.run()
+    wrong = [node for node, output in result.outputs.items() if output != value]
+    if wrong:
+        raise RuntimeError(f"broadcast did not reach nodes {wrong[:5]}")
+    return result

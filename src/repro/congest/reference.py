@@ -1,0 +1,103 @@
+"""The seed full-scan simulator, kept as a differential-testing oracle.
+
+:class:`ReferenceSimulator` reproduces the original (pre-active-set)
+implementation faithfully in everything that costs time:
+
+* the diameter bound is computed **eagerly** in the constructor (an
+  all-pairs BFS when no bound is supplied);
+* every round scans **every** node and reallocates a fresh inbox dict per
+  node per round;
+* global halt status is re-derived by iterating all programs.
+
+Only the round *counting* follows the fixed, consistent rule of
+:mod:`repro.congest.simulator` (rounds = index of the last round with any
+send or delivery), so that a :class:`SimulationResult` produced here is
+bit-for-bit comparable with the active-set simulator's.  The differential
+tests in ``tests/test_congest_simulator.py`` assert exactly that equality,
+and ``benchmarks/bench_simulator_speedup.py`` uses this class as the
+baseline the active-set rewrite is measured against.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..errors import SimulationError
+from .node import message_size_in_words
+from .simulator import CongestSimulator, RoundTelemetry, SimulationResult
+
+
+class ReferenceSimulator(CongestSimulator):
+    """Full-scan CONGEST simulator with the seed's per-round cost profile."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # The seed computed the diameter bound in the constructor whether or
+        # not any program would read it; keep that (costly) behaviour.
+        self._resolve_diameter_bound()
+
+    def run(self, max_rounds: int = 10_000) -> SimulationResult:
+        """Run to quiescence with a full node scan per round (seed behaviour)."""
+        programs = self.programs
+        inboxes: dict[Hashable, dict[Hashable, object]] = {node: {} for node in programs}
+        pending: dict[Hashable, dict[Hashable, object]] = {node: {} for node in programs}
+        total_messages = 0
+        total_words = 0
+        telemetry: list[RoundTelemetry] = []
+        last_active_round = 0
+
+        sent = words = 0
+        for node in self._order:
+            outgoing = programs[node].on_start() or {}
+            self._validate_outgoing(node, outgoing)
+            for target, message in outgoing.items():
+                if message is None:
+                    continue
+                pending[target][node] = message
+                sent += 1
+                words += message_size_in_words(message)
+        total_messages += sent
+        total_words += words
+        telemetry.append(RoundTelemetry(1, len(self._order), sent, words))
+        if sent:
+            last_active_round = 1
+
+        for round_number in range(2, max_rounds + 2):
+            inboxes = pending
+            pending = {node: {} for node in programs}
+            all_halted = all(program.halted for program in programs.values())
+            any_inbox = any(inboxes[node] for node in programs)
+            if all_halted and not any_inbox:
+                break
+            sent = words = 0
+            executed = 0
+            for node in self._order:
+                program = programs[node]
+                inbox = inboxes[node]
+                if program.halted and not inbox:
+                    continue
+                executed += 1
+                outgoing = program.on_round(round_number, inbox) or {}
+                self._validate_outgoing(node, outgoing)
+                for target, message in outgoing.items():
+                    if message is None:
+                        continue
+                    pending[target][node] = message
+                    sent += 1
+                    words += message_size_in_words(message)
+            total_messages += sent
+            total_words += words
+            telemetry.append(RoundTelemetry(round_number, executed, sent, words))
+            if sent or any_inbox:
+                last_active_round = round_number
+        else:
+            raise SimulationError(f"simulation did not converge within {max_rounds} rounds")
+
+        outputs = {node: programs[node].result() for node in self._order}
+        return SimulationResult(
+            rounds=last_active_round,
+            messages=total_messages,
+            words=total_words,
+            outputs=outputs,
+            telemetry=telemetry,
+        )

@@ -1,4 +1,26 @@
-"""The synchronous round-driving loop of the CONGEST simulator."""
+"""The synchronous round-driving loop of the CONGEST simulator.
+
+The simulator is *active-set* driven: per round it touches only the nodes
+that can possibly do work -- nodes whose program has not halted plus nodes
+with a non-empty inbox -- instead of scanning every node every round.  On
+sparse executions (a BFS wavefront, a shrinking flood) this makes the cost
+per round proportional to the frontier, not to ``n``.  Message buffers are
+allocated per recipient on demand (an idle node never owns an inbox dict)
+and the diameter bound handed to the node programs is computed lazily, so
+programs that never read ``D`` never pay for an all-pairs BFS.
+
+Round accounting is consistent: ``SimulationResult.rounds`` is the index of
+the last round in which any message was sent or delivered (rounds are
+1-based, with the ``on_start`` sends forming round 1).  A computation that
+never communicates therefore costs 0 rounds regardless of how many silent
+bookkeeping rounds the programs took to halt -- the seed implementation
+counted trailing silent rounds but not a silent first round, which made
+round counts depend on *where* the silence happened.
+
+:class:`ReferenceSimulator` in :mod:`repro.congest.reference` preserves the
+seed's full-scan behaviour (same results, eager diameter, O(n) per round)
+as a differential-testing oracle and benchmark baseline.
+"""
 
 from __future__ import annotations
 
@@ -13,23 +35,51 @@ from ..utils import require_connected, require_simple
 from .node import NodeContext, NodeProgram, message_size_in_words
 
 
+@dataclass(frozen=True)
+class RoundTelemetry:
+    """Per-round activity record (what the scenario engine logs).
+
+    Attributes:
+        round: 1-based round index (round 1 is the ``on_start`` round).
+        active_nodes: number of node programs that executed this round.
+        messages: messages sent this round.
+        words: message volume sent this round, in machine words.
+    """
+
+    round: int
+    active_nodes: int
+    messages: int
+    words: int
+
+
 @dataclass
 class SimulationResult:
     """Outcome of one simulated execution.
 
     Attributes:
-        rounds: number of synchronous rounds executed (a round in which no
-            message is sent and every node is halted is not counted).
+        rounds: index of the last synchronous round in which any message was
+            sent or delivered (0 for computations that never communicate).
         messages: total number of (non-``None``) messages delivered.
         words: total message volume in machine words.
         outputs: mapping node -> whatever the node's program returned from
             :meth:`NodeProgram.result`.
+        telemetry: one :class:`RoundTelemetry` per executed round (including
+            trailing silent rounds, whose ``messages`` is 0).
     """
 
     rounds: int
     messages: int
     words: int
     outputs: dict[Hashable, object] = field(default_factory=dict)
+    telemetry: list[RoundTelemetry] = field(default_factory=list)
+
+    def peak_active_nodes(self) -> int:
+        """Return the largest number of programs executed in any round."""
+        return max((entry.active_nodes for entry in self.telemetry), default=0)
+
+    def total_active_node_rounds(self) -> int:
+        """Return the sum of per-round active counts (the simulator's work)."""
+        return sum(entry.active_nodes for entry in self.telemetry)
 
 
 class CongestSimulator:
@@ -43,8 +93,9 @@ class CongestSimulator:
         bandwidth_words: per-edge, per-direction, per-round message capacity
             in machine words (``O(log n)`` bits; 3 words is enough for an
             edge id plus a weight, matching the classical model).
-        diameter_bound: optional diameter bound handed to the nodes; computed
-            exactly when omitted.
+        diameter_bound: optional diameter bound handed to the nodes; when
+            omitted it is computed exactly -- but lazily, only if some
+            program actually reads ``context.diameter_bound``.
     """
 
     def __init__(
@@ -58,12 +109,13 @@ class CongestSimulator:
         require_simple(graph, "network graph")
         self.graph = graph
         self.bandwidth_words = bandwidth_words
-        if diameter_bound is None:
-            diameter_bound = nx.diameter(graph) if graph.number_of_nodes() > 1 else 0
-        self.diameter_bound = diameter_bound
+        self._diameter_bound = diameter_bound
         self.programs: dict[Hashable, NodeProgram] = {}
         n = graph.number_of_nodes()
-        for node in sorted(graph.nodes(), key=repr):
+        # Deterministic node order, independent of graph insertion order.
+        self._order: list[Hashable] = sorted(graph.nodes(), key=repr)
+        self._rank: dict[Hashable, int] = {node: i for i, node in enumerate(self._order)}
+        for node in self._order:
             neighbours = tuple(sorted(graph.neighbors(node), key=repr))
             weights = {
                 neighbour: graph[node][neighbour].get(WEIGHT, 1.0) for neighbour in neighbours
@@ -73,9 +125,22 @@ class CongestSimulator:
                 neighbours=neighbours,
                 edge_weights=weights,
                 num_nodes=n,
-                diameter_bound=diameter_bound,
+                diameter_bound=self._resolve_diameter_bound,
             )
             self.programs[node] = program_factory(context)
+
+    def _resolve_diameter_bound(self) -> int:
+        if self._diameter_bound is None:
+            graph = self.graph
+            self._diameter_bound = (
+                nx.diameter(graph) if graph.number_of_nodes() > 1 else 0
+            )
+        return self._diameter_bound
+
+    @property
+    def diameter_bound(self) -> int:
+        """The diameter bound the nodes see (computed on first access)."""
+        return self._resolve_diameter_bound()
 
     def _validate_outgoing(self, sender: Hashable, outgoing: dict[Hashable, object]) -> None:
         for target, message in outgoing.items():
@@ -92,52 +157,83 @@ class CongestSimulator:
 
     def run(self, max_rounds: int = 10_000) -> SimulationResult:
         """Run the simulation to quiescence (all halted, no messages in flight)."""
-        inboxes: dict[Hashable, dict[Hashable, object]] = {node: {} for node in self.programs}
-        # Round 1: on_start messages.
-        pending: dict[Hashable, dict[Hashable, object]] = {node: {} for node in self.programs}
+        programs = self.programs
+        rank = self._rank
+        # pending maps recipient -> {sender: message}; inbox dicts are created
+        # on demand, so idle nodes never own (or cause the allocation of) a
+        # buffer.  live is the set of non-halted programs; together with the
+        # pending recipients it forms the active set of the next round.
+        pending: dict[Hashable, dict[Hashable, object]] = {}
+        live: set[Hashable] = {
+            node for node, program in programs.items() if not program.halted
+        }
         total_messages = 0
         total_words = 0
-        any_sent = False
-        for node, program in self.programs.items():
-            outgoing = program.on_start() or {}
+        telemetry: list[RoundTelemetry] = []
+        last_active_round = 0
+
+        # Round 1: on_start messages (every program executes once).
+        sent = words = 0
+        for node in self._order:
+            outgoing = programs[node].on_start() or {}
             self._validate_outgoing(node, outgoing)
             for target, message in outgoing.items():
                 if message is None:
                     continue
-                pending[target][node] = message
-                total_messages += 1
-                total_words += message_size_in_words(message)
-                any_sent = True
-        rounds = 1 if any_sent else 0
+                pending.setdefault(target, {})[node] = message
+                sent += 1
+                words += message_size_in_words(message)
+        total_messages += sent
+        total_words += words
+        telemetry.append(RoundTelemetry(1, len(self._order), sent, words))
+        if sent:
+            last_active_round = 1
+        live = {node for node in live if not programs[node].halted}
 
-        for round_number in range(2, max_rounds + 2):
+        round_number = 1
+        while live or pending:
+            round_number += 1
+            if round_number > max_rounds + 1:
+                raise SimulationError(
+                    f"simulation did not converge within {max_rounds} rounds"
+                )
             inboxes = pending
-            pending = {node: {} for node in self.programs}
-            all_halted = all(program.halted for program in self.programs.values())
-            any_inbox = any(inboxes[node] for node in self.programs)
-            if all_halted and not any_inbox:
-                break
-            any_sent = False
-            for node, program in self.programs.items():
-                inbox = inboxes[node]
-                if program.halted and not inbox:
-                    continue
+            pending = {}
+            delivered = bool(inboxes)
+            active = live if not inboxes else live.union(inboxes.keys())
+            sent = words = 0
+            executed = 0
+            for node in sorted(active, key=rank.__getitem__):
+                program = programs[node]
+                inbox = inboxes.get(node)
+                if inbox is None:
+                    if program.halted:
+                        continue
+                    inbox = {}
+                executed += 1
                 outgoing = program.on_round(round_number, inbox) or {}
                 self._validate_outgoing(node, outgoing)
                 for target, message in outgoing.items():
                     if message is None:
                         continue
-                    pending[target][node] = message
-                    total_messages += 1
-                    total_words += message_size_in_words(message)
-                    any_sent = True
-            rounds += 1
-            if not any_sent and all(program.halted for program in self.programs.values()):
-                break
-        else:
-            raise SimulationError(f"simulation did not converge within {max_rounds} rounds")
+                    pending.setdefault(target, {})[node] = message
+                    sent += 1
+                    words += message_size_in_words(message)
+                if program.halted:
+                    live.discard(node)
+                else:
+                    live.add(node)
+            total_messages += sent
+            total_words += words
+            telemetry.append(RoundTelemetry(round_number, executed, sent, words))
+            if sent or delivered:
+                last_active_round = round_number
 
-        outputs = {node: program.result() for node, program in self.programs.items()}
+        outputs = {node: programs[node].result() for node in self._order}
         return SimulationResult(
-            rounds=rounds, messages=total_messages, words=total_words, outputs=outputs
+            rounds=last_active_round,
+            messages=total_messages,
+            words=total_words,
+            outputs=outputs,
+            telemetry=telemetry,
         )

@@ -1,0 +1,76 @@
+"""The scenario engine: declarative family x constructor x algorithm sweeps.
+
+The ROADMAP asks for "as many scenarios as you can imagine"; this package
+makes a scenario a *value* instead of a hand-wired experiment script.  Three
+registries (:mod:`repro.scenarios.registry`) map names to graph families,
+shortcut constructors (with applicability predicates over the structural
+witness) and runnable workloads; a :class:`Scenario` spec picks one of each
+plus parameters and a seed; and the engine (:mod:`repro.scenarios.engine`)
+executes specs -- individually or as a cached family-by-constructor matrix
+-- into JSON-friendly result records.
+
+Quickstart::
+
+    from repro.scenarios import Scenario, run_scenario, scenario_matrix, run_matrix
+
+    record = run_scenario(Scenario(
+        name="demo", family="planar", constructor="planar", algorithm="mst",
+        params={"side": 6}, seed=1,
+    ))
+    print(record.as_dict()["result"]["mst_rounds"])
+
+    # the full matrix: every family x every applicable constructor
+    records = run_matrix(scenario_matrix(size="tiny"))
+
+Command line: ``python -m repro.scenarios --size tiny`` runs the default
+matrix and prints the records as JSON.
+"""
+
+from .engine import (
+    Scenario,
+    ScenarioRecord,
+    build_instance,
+    run_matrix,
+    run_scenario,
+    scenario_matrix,
+)
+from .instances import InstanceCache, ScenarioInstance
+from .registry import (
+    AlgorithmSpec,
+    ConstructorSpec,
+    FamilySpec,
+    algorithm,
+    algorithm_names,
+    applicable_constructors,
+    constructor,
+    constructor_names,
+    family,
+    family_names,
+    register_algorithm,
+    register_constructor,
+    register_family,
+)
+
+__all__ = [
+    "AlgorithmSpec",
+    "ConstructorSpec",
+    "FamilySpec",
+    "InstanceCache",
+    "Scenario",
+    "ScenarioInstance",
+    "ScenarioRecord",
+    "algorithm",
+    "algorithm_names",
+    "applicable_constructors",
+    "build_instance",
+    "constructor",
+    "constructor_names",
+    "family",
+    "family_names",
+    "register_algorithm",
+    "register_constructor",
+    "register_family",
+    "run_matrix",
+    "run_scenario",
+    "scenario_matrix",
+]

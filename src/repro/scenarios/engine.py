@@ -1,0 +1,215 @@
+"""Scenario specs and the matrix runner.
+
+A :class:`Scenario` is a declarative, JSON-friendly description of one run:
+*family* x *constructor* x *algorithm*, plus generator parameters, a part
+family and a seed.  :func:`run_scenario` executes one spec;
+:func:`run_matrix` sweeps a full family-by-constructor grid through a
+shared :class:`InstanceCache`; :func:`scenario_matrix` builds the default
+sweep (every registered family crossed with every applicable constructor).
+
+``python -m repro.scenarios`` is the command-line entry point over these
+functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..congest.simulator import CongestSimulator
+from .instances import InstanceCache, ScenarioInstance
+from .registry import (
+    algorithm,
+    applicable_constructors,
+    constructor,
+    family,
+    family_names,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioRecord",
+    "build_instance",
+    "run_matrix",
+    "run_scenario",
+    "scenario_matrix",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A declarative spec for one runnable scenario.
+
+    Attributes:
+        name: free-form label recorded in the result.
+        family: registry name of the graph family.
+        constructor: registry name of the shortcut construction.
+        algorithm: registry name of the workload (default: quality sweep).
+        params: family generator parameters (merged over the family
+            defaults).
+        parts: part-family spec, e.g. ``{"kind": "tree_fragments",
+            "num_parts": 6}``.
+        algorithm_params: extra keyword arguments for the algorithm runner
+            (e.g. ``{"epsilon": 0.5}`` for min-cut).
+        seed: the seed shared by the generator and the workload.
+    """
+
+    name: str
+    family: str
+    constructor: str
+    algorithm: str = "quality"
+    params: Mapping[str, object] = field(default_factory=dict)
+    parts: Mapping[str, object] = field(default_factory=lambda: {"kind": "tree_fragments"})
+    algorithm_params: Mapping[str, object] = field(default_factory=dict)
+    seed: int = 0
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "scenario": self.name,
+            "family": self.family,
+            "constructor": self.constructor,
+            "algorithm": self.algorithm,
+            "params": dict(self.params),
+            "parts": dict(self.parts),
+            "algorithm_params": dict(self.algorithm_params),
+            "seed": self.seed,
+        }
+
+
+@dataclass
+class ScenarioRecord:
+    """The JSON-friendly outcome of one scenario run."""
+
+    scenario: dict[str, object]
+    instance: dict[str, object]
+    applicable: bool
+    result: dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            **self.scenario,
+            "instance": self.instance,
+            "applicable": self.applicable,
+            "result": dict(self.result),
+        }
+
+
+def build_instance(
+    name: str,
+    params: Mapping[str, object] | None = None,
+    seed: int = 0,
+    cache: InstanceCache | None = None,
+) -> ScenarioInstance:
+    """Build (or fetch from ``cache``) one instance of a registered family."""
+    spec = family(name)
+    merged = dict(spec.default_params)
+    if params:
+        merged.update(params)
+    if cache is None:
+        return spec.instantiate(merged, seed=seed)
+    return cache.get(name, merged, seed, lambda: spec.instantiate(merged, seed=seed))
+
+
+def run_scenario(
+    scenario: Scenario,
+    cache: InstanceCache | None = None,
+    simulator_cls: type[CongestSimulator] = CongestSimulator,
+) -> ScenarioRecord:
+    """Execute one scenario spec and return its record.
+
+    A constructor that is not applicable to the instance (e.g. the planar
+    construction on a torus) yields a record with ``applicable=False``
+    rather than an exception, so matrix sweeps stay total.
+    """
+    instance = build_instance(scenario.family, scenario.params, scenario.seed, cache)
+    spec = constructor(scenario.constructor)
+    record = ScenarioRecord(
+        scenario=scenario.describe(),
+        instance=instance.describe(),
+        applicable=spec.applicable(instance),
+    )
+    if not record.applicable:
+        return record
+    runner = algorithm(scenario.algorithm)
+    if runner.uses_parts:
+        parts_spec = dict(scenario.parts)
+        kind = str(parts_spec.pop("kind", "tree_fragments"))
+        parts = instance.parts(kind, **parts_spec)
+    else:
+        parts = ()
+    record.result = runner.run(
+        instance,
+        instance.tree,
+        parts,
+        spec.builder_for(instance),
+        seed=scenario.seed,
+        simulator_cls=simulator_cls,
+        **dict(scenario.algorithm_params),
+    )
+    return record
+
+
+def scenario_matrix(
+    families: Sequence[str] | None = None,
+    constructors: Sequence[str] | None = None,
+    algorithm_name: str = "quality",
+    size: str = "default",
+    seed: int = 0,
+    parts: Mapping[str, object] | None = None,
+    algorithm_params: Mapping[str, object] | None = None,
+    cache: InstanceCache | None = None,
+) -> list[Scenario]:
+    """Build the scenario grid: families x constructors (applicable only).
+
+    Args:
+        families: family names (default: every registered family).
+        constructors: constructor names to try (default: every registered
+            constructor); constructors inapplicable to a family's instance
+            are skipped.
+        algorithm_name: workload to run on every cell.
+        size: ``"default"`` or ``"tiny"`` (the family's CI smoke sizes).
+        seed: shared generator/workload seed.
+        parts: part-family spec shared by all cells.
+        algorithm_params: extra algorithm keyword arguments for all cells.
+        cache: pass the cache later handed to :func:`run_matrix` so the
+            applicability probe instances are built only once.
+    """
+    if size not in ("default", "tiny"):
+        raise ValueError(f"size must be 'default' or 'tiny', got {size!r}")
+    if constructors is not None:
+        for name in constructors:
+            constructor(name)  # typo'd names fail loudly, not as an empty sweep
+    chosen = list(families) if families is not None else family_names()
+    scenarios: list[Scenario] = []
+    for family_name in chosen:
+        spec = family(family_name)
+        params = dict(spec.tiny_params if size == "tiny" else spec.default_params)
+        probe = build_instance(family_name, params, seed, cache)
+        names = applicable_constructors(probe)
+        if constructors is not None:
+            names = [name for name in constructors if name in names]
+        for constructor_name in names:
+            scenarios.append(Scenario(
+                name=f"{family_name}/{constructor_name}/{algorithm_name}",
+                family=family_name,
+                constructor=constructor_name,
+                algorithm=algorithm_name,
+                params=params,
+                parts=dict(parts) if parts is not None else {"kind": "tree_fragments"},
+                algorithm_params=dict(algorithm_params) if algorithm_params else {},
+                seed=seed,
+            ))
+    return scenarios
+
+
+def run_matrix(
+    scenarios: Iterable[Scenario],
+    cache: InstanceCache | None = None,
+    simulator_cls: type[CongestSimulator] = CongestSimulator,
+) -> list[dict[str, object]]:
+    """Run every scenario through a shared instance cache; return JSON records."""
+    cache = cache if cache is not None else InstanceCache()
+    return [
+        run_scenario(scenario, cache=cache, simulator_cls=simulator_cls).as_dict()
+        for scenario in scenarios
+    ]

@@ -1,0 +1,164 @@
+"""Scenario instances: a generated graph plus cached derived structures.
+
+A :class:`ScenarioInstance` bundles the output of one graph-family builder
+(the graph and, where the family provides one, its construction witness)
+with memoised derived objects -- the BFS spanning tree, part families and
+seeded weighted copies -- so that a scenario matrix running several
+constructors and algorithms over the same instance pays for each expensive
+derivation exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+import networkx as nx
+
+from ..errors import InvalidGraphError
+from ..graphs.weights import assign_random_weights
+from ..shortcuts.parts import path_parts, singleton_parts, tree_fragment_parts
+from ..structure.spanning import RootedTree, bfs_spanning_tree
+
+
+class ScenarioInstance:
+    """One concrete graph instance of a family, with memoised derivations.
+
+    Attributes:
+        family: registry name of the family that produced the instance.
+        params: the generator parameters (JSON-friendly scalars).
+        seed: the generator seed.
+        graph: the network graph.
+        witness: the family's construction witness (``TreewidthWitness``,
+            ``CliqueSumDecomposition``, ``AlmostEmbeddableGraph``,
+            ``MinorFreeGraph``, ``LowerBoundGraph``) or ``None`` for
+            families, like plain planar grids, that need none.
+    """
+
+    def __init__(
+        self,
+        family: str,
+        params: Mapping[str, object],
+        seed: int,
+        graph: nx.Graph,
+        witness: object | None = None,
+    ) -> None:
+        if graph.number_of_nodes() == 0:
+            raise InvalidGraphError(f"family {family} produced an empty graph")
+        self.family = family
+        self.params = dict(params)
+        self.seed = seed
+        self.graph = graph
+        self.witness = witness
+        self._tree: RootedTree | None = None
+        self._parts: dict[tuple, list[frozenset]] = {}
+        self._weighted: dict[tuple, nx.Graph] = {}
+
+    # -- cached derivations -------------------------------------------------
+
+    @property
+    def tree(self) -> RootedTree:
+        """The shared BFS spanning tree ``T`` (built once per instance)."""
+        if self._tree is None:
+            self._tree = bfs_spanning_tree(self.graph)
+        return self._tree
+
+    def parts(self, kind: str = "tree_fragments", **kwargs) -> list[frozenset]:
+        """Return (and cache) a part family of the requested kind.
+
+        Supported kinds: ``"tree_fragments"`` (keyword ``num_parts``/
+        ``seed``), ``"path"`` and ``"singleton"``.
+        """
+        # Resolve defaults before keying the cache, so e.g. parts("x") and
+        # parts("x", num_parts=6) share one entry.
+        if kind == "tree_fragments":
+            num_parts = int(kwargs.pop("num_parts", 6))
+            seed = int(kwargs.pop("seed", self.seed))
+            num_parts = max(1, min(num_parts, self.graph.number_of_nodes()))
+            key = (kind, num_parts, seed)
+        elif kind in ("path", "singleton"):
+            key = (kind,)
+        else:
+            raise ValueError(f"unknown parts kind {kind!r}")
+        if kwargs:
+            raise ValueError(f"unknown parts arguments for {kind!r}: {sorted(kwargs)}")
+        if key not in self._parts:
+            if kind == "tree_fragments":
+                self._parts[key] = tree_fragment_parts(
+                    self.graph, self.tree, num_parts=num_parts, seed=seed
+                )
+            elif kind == "path":
+                self._parts[key] = path_parts(self.graph, self.tree)
+            else:
+                self._parts[key] = singleton_parts(self.graph)
+        return self._parts[key]
+
+    def weighted_graph(
+        self, seed: int, integer: bool = True, low: float = 1.0, high: float = 100.0
+    ) -> nx.Graph:
+        """Return a copy of the graph with seeded random edge weights.
+
+        The copy keeps the shared instance immutable, so scenarios with
+        different weight seeds can run over the same cached instance.
+        """
+        key = (seed, integer, low, high)
+        if key not in self._weighted:
+            weighted = self.graph.copy()
+            assign_random_weights(weighted, low=low, high=high, seed=seed, integer=integer)
+            self._weighted[key] = weighted
+        return self._weighted[key]
+
+    # -- description --------------------------------------------------------
+
+    @property
+    def root(self) -> Hashable:
+        return self.tree.root
+
+    def describe(self) -> dict[str, object]:
+        """Return a JSON-friendly summary of the instance."""
+        return {
+            "family": self.family,
+            "params": dict(self.params),
+            "seed": self.seed,
+            "n": self.graph.number_of_nodes(),
+            "m": self.graph.number_of_edges(),
+            "tree_height": self.tree.height,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"ScenarioInstance(family={self.family!r}, params={self.params!r}, "
+            f"seed={self.seed}, n={self.graph.number_of_nodes()})"
+        )
+
+
+class InstanceCache:
+    """Memoises instances across a scenario matrix run.
+
+    Keyed by ``(family, params, seed)``; the cached
+    :class:`ScenarioInstance` then memoises its own spanning tree and part
+    families, so a sweep of ``k`` constructors over one instance performs
+    one generation, one BFS tree and one partition instead of ``k`` each.
+    """
+
+    def __init__(self) -> None:
+        self._instances: dict[tuple, ScenarioInstance] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(
+        self,
+        family: str,
+        params: Mapping[str, object],
+        seed: int,
+        build,
+    ) -> ScenarioInstance:
+        key = (family, tuple(sorted(params.items())), seed)
+        if key not in self._instances:
+            self.misses += 1
+            self._instances[key] = build()
+        else:
+            self.hits += 1
+        return self._instances[key]
+
+    def __len__(self) -> int:
+        return len(self._instances)

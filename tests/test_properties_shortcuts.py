@@ -1,0 +1,153 @@
+"""Property tests: every constructor's self-reported quality is honest.
+
+For every registered shortcut constructor, over seeded random instances of
+every registered graph family, the :class:`ShortcutQuality` returned by
+``Shortcut.measure()`` must *exactly* match a from-scratch recomputation of
+congestion (Definition 11), block parameter (Definition 12), tree diameter
+and quality (Definition 13) implemented here independently of the
+:class:`Shortcut` class (plain counters and union-find, no calls back into
+the measured code).
+
+A deterministic sweep covers every (family, applicable constructor) cell at
+two seeds; a Hypothesis layer then fuzzes seeds and part counts across the
+same grid.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import (
+    applicable_constructors,
+    build_instance,
+    constructor,
+    family_names,
+)
+from repro.shortcuts.shortcut import Shortcut
+
+
+# ------------------------------------------------------------- from scratch
+
+
+def _recompute_congestion(shortcut: Shortcut) -> int:
+    counts: Counter = Counter()
+    for edges in shortcut.edge_sets:
+        for edge in edges:
+            counts[edge] += 1
+    return max(counts.values(), default=0)
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: dict[Hashable, Hashable] = {}
+
+    def add(self, item: Hashable) -> None:
+        if item not in self.parent:
+            self.parent[item] = item
+
+    def find(self, item: Hashable) -> Hashable:
+        while self.parent[item] != item:
+            self.parent[item] = self.parent[self.parent[item]]
+            item = self.parent[item]
+        return item
+
+    def union(self, a: Hashable, b: Hashable) -> None:
+        self.add(a)
+        self.add(b)
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[ra] = rb
+
+
+def _recompute_block(shortcut: Shortcut) -> int:
+    """Definition 12 via union-find over each part's shortcut edge set."""
+    worst = 0
+    for index, part in enumerate(shortcut.parts):
+        uf = _UnionFind()
+        for vertex in part:
+            uf.add(vertex)
+        for u, v in shortcut.edge_sets[index]:
+            uf.union(u, v)
+        roots = {uf.find(vertex) for vertex in part}
+        worst = max(worst, len(roots))
+    return worst
+
+
+def _recompute_tree_diameter(shortcut: Shortcut) -> int:
+    tree_graph = nx.Graph()
+    tree_graph.add_nodes_from(shortcut.tree.parent.keys())
+    for node, parent in shortcut.tree.parent.items():
+        if parent is not None:
+            tree_graph.add_edge(node, parent)
+    if tree_graph.number_of_nodes() <= 1:
+        return 0
+    return nx.diameter(tree_graph)
+
+
+def _assert_measure_is_honest(shortcut: Shortcut) -> None:
+    measure = shortcut.measure()
+    congestion = _recompute_congestion(shortcut)
+    block = _recompute_block(shortcut)
+    diameter = _recompute_tree_diameter(shortcut)
+    assert measure.congestion == congestion
+    assert measure.block == block
+    assert measure.tree_diameter == diameter
+    assert measure.quality == block * diameter + congestion
+    assert measure.num_parts == len(shortcut.parts)
+    assert measure.total_shortcut_edges == sum(len(edges) for edges in shortcut.edge_sets)
+    # The convenience accessors agree with the one-shot measurement.
+    assert shortcut.congestion() == congestion
+    assert shortcut.block_parameter() == block
+    assert shortcut.quality() == measure.quality
+
+
+def _check_cell(family_name: str, seed: int, num_parts: int) -> list[str]:
+    """Run every applicable constructor on one instance; return the names."""
+    instance = build_instance(family_name, seed=seed)
+    parts = instance.parts("tree_fragments", num_parts=num_parts, seed=seed)
+    names = applicable_constructors(instance)
+    for name in names:
+        shortcut = constructor(name).build(instance, instance.tree, parts)
+        shortcut.validate()
+        _assert_measure_is_honest(shortcut)
+    return names
+
+
+# ------------------------------------------------------------------- sweeps
+
+
+@pytest.mark.parametrize("family_name", family_names())
+@pytest.mark.parametrize("seed", [0, 3])
+def test_every_constructor_reports_honest_quality(family_name, seed):
+    names = _check_cell(family_name, seed=seed, num_parts=5)
+    # Every family admits the four baselines plus (usually) its own theorem.
+    assert len(names) >= 4
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    family_name=st.sampled_from(family_names()),
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_parts=st.integers(min_value=1, max_value=9),
+)
+def test_honest_quality_fuzzed(family_name, seed, num_parts):
+    _check_cell(family_name, seed=seed, num_parts=num_parts)
+
+
+def test_path_and_singleton_parts_are_honest_too():
+    instance = build_instance("planar", {"side": 6})
+    for kind in ("path", "singleton"):
+        parts = instance.parts(kind)
+        for name in ("steiner", "oblivious"):
+            shortcut = constructor(name).build(instance, instance.tree, parts)
+            _assert_measure_is_honest(shortcut)

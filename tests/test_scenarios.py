@@ -1,0 +1,239 @@
+"""Tests for the scenario engine: registries, caching, matrix runs, CLI."""
+
+import json
+
+import pytest
+
+from repro.errors import InvalidShortcutError
+from repro.scenarios import (
+    FamilySpec,
+    InstanceCache,
+    Scenario,
+    ScenarioInstance,
+    algorithm_names,
+    applicable_constructors,
+    build_instance,
+    constructor,
+    constructor_names,
+    family,
+    family_names,
+    register_constructor,
+    register_family,
+    run_matrix,
+    run_scenario,
+    scenario_matrix,
+)
+from repro.scenarios.__main__ import main as scenarios_main
+from repro.congest.reference import ReferenceSimulator
+
+
+# ---------------------------------------------------------------- registries
+
+
+def test_all_seven_families_registered():
+    assert family_names() == [
+        "apex",
+        "clique_sum",
+        "genus",
+        "lower_bound",
+        "minor_free",
+        "planar",
+        "treewidth",
+    ]
+
+
+def test_constructor_and_algorithm_registries():
+    assert {"empty", "whole_tree", "steiner", "oblivious"} <= set(constructor_names())
+    assert {"planar", "treewidth", "clique_sum", "apex", "genus_vortex", "minor_free"} <= set(
+        constructor_names()
+    )
+    assert algorithm_names() == ["aggregate", "mincut", "mst", "quality"]
+
+
+def test_unknown_names_raise():
+    with pytest.raises(KeyError, match="unknown family"):
+        family("nope")
+    with pytest.raises(KeyError, match="unknown constructor"):
+        constructor("nope")
+    with pytest.raises(ValueError, match="already registered"):
+        register_family(family("planar"))
+    with pytest.raises(ValueError, match="already registered"):
+        register_constructor(constructor("steiner"))
+
+
+def test_family_specific_constructors_require_their_witness():
+    planar = build_instance("planar", {"side": 5})
+    names = applicable_constructors(planar)
+    assert "minor_free" not in names
+    assert "apex" not in names
+    assert "planar" in names
+    genus = build_instance("genus", seed=1)
+    assert "genus_vortex" in applicable_constructors(genus)
+    assert "planar" not in applicable_constructors(genus)  # torus is non-planar
+
+
+def test_every_family_admits_at_least_two_constructors():
+    for name in family_names():
+        instance = build_instance(name, family(name).tiny_params, seed=0)
+        assert len(applicable_constructors(instance)) >= 2
+
+
+# ------------------------------------------------------------------ instances
+
+
+def test_instance_caches_tree_and_parts():
+    instance = build_instance("planar", {"side": 5})
+    assert instance.tree is instance.tree
+    first = instance.parts("tree_fragments", num_parts=4)
+    assert instance.parts("tree_fragments", num_parts=4) is first
+    assert instance.parts("tree_fragments", num_parts=5) is not first
+    with pytest.raises(ValueError, match="unknown parts kind"):
+        instance.parts("nope")
+
+
+def test_weighted_graph_is_a_seeded_copy():
+    instance = build_instance("planar", {"side": 4})
+    weighted = instance.weighted_graph(seed=3)
+    assert weighted is not instance.graph
+    assert weighted is instance.weighted_graph(seed=3)  # cached
+    assert weighted is not instance.weighted_graph(seed=4)
+    # The shared instance graph stays unweighted.
+    u, v = next(iter(instance.graph.edges()))
+    assert "weight" not in instance.graph[u][v]
+    assert "weight" in weighted[u][v]
+
+
+def test_instance_cache_deduplicates():
+    cache = InstanceCache()
+    a = build_instance("treewidth", seed=2, cache=cache)
+    b = build_instance("treewidth", seed=2, cache=cache)
+    c = build_instance("treewidth", seed=3, cache=cache)
+    assert a is b
+    assert a is not c
+    assert len(cache) == 2
+    assert cache.hits == 1
+    assert cache.misses == 2
+
+
+# ------------------------------------------------------------------ running
+
+
+def test_run_scenario_quality_record_shape():
+    record = run_scenario(Scenario(
+        name="demo", family="planar", constructor="planar",
+        params={"side": 5}, seed=1,
+    ))
+    payload = record.as_dict()
+    assert payload["applicable"] is True
+    assert payload["instance"]["n"] == 25
+    row = payload["result"]["shortcut"]
+    assert set(row) >= {"block", "congestion", "quality", "tree_diameter"}
+    json.dumps(payload)  # JSON-friendly end to end
+
+
+def test_run_scenario_inapplicable_is_recorded_not_raised():
+    record = run_scenario(Scenario(
+        name="demo", family="planar", constructor="minor_free", params={"side": 4},
+    ))
+    assert record.applicable is False
+    assert record.result == {}
+
+
+def test_run_scenario_is_deterministic():
+    spec = Scenario(
+        name="d", family="minor_free", constructor="minor_free",
+        algorithm="aggregate", seed=5,
+    )
+    assert run_scenario(spec).as_dict() == run_scenario(spec).as_dict()
+
+
+def test_run_scenario_mst_records_telemetry_and_is_simulator_agnostic():
+    spec = Scenario(
+        name="m", family="planar", constructor="steiner", algorithm="mst",
+        params={"side": 5}, seed=2,
+    )
+    cache = InstanceCache()
+    fast = run_scenario(spec, cache=cache).as_dict()["result"]
+    slow = run_scenario(spec, cache=cache, simulator_cls=ReferenceSimulator).as_dict()["result"]
+    assert fast["weight_matches_reference"]
+    assert fast["sim_rounds"] > 0
+    assert fast["sim_peak_active_nodes"] == 25
+    for key in ("mst_rounds", "mst_phases", "mst_weight", "sim_rounds", "sim_messages"):
+        assert fast[key] == slow[key]
+
+
+def test_scenario_matrix_covers_all_families_through_shared_cache():
+    cache = InstanceCache()
+    scenarios = scenario_matrix(size="tiny", cache=cache)
+    records = run_matrix(scenarios, cache=cache)
+    families_seen = {record["family"] for record in records if record["applicable"]}
+    assert families_seen == set(family_names())
+    # One instance per family, reused across all its constructors.
+    assert len(cache) == len(family_names())
+    assert cache.hits >= len(records)
+    assert all(record["applicable"] for record in records)
+
+
+def test_scenario_matrix_filters():
+    scenarios = scenario_matrix(
+        families=["planar", "genus"], constructors=["steiner", "planar"], size="tiny"
+    )
+    labels = {(s.family, s.constructor) for s in scenarios}
+    # planar admits both; the genus instance is non-planar so only steiner.
+    assert labels == {("planar", "steiner"), ("planar", "planar"), ("genus", "steiner")}
+    with pytest.raises(ValueError, match="size must be"):
+        scenario_matrix(size="huge")
+
+
+def test_custom_registry_entries_flow_into_the_matrix():
+    from repro.graphs.planar import cycle_graph
+    from repro.scenarios import registry as registry_module
+
+    register_family(FamilySpec(
+        name="test_cycle",
+        description="cycle used by the registry extension test",
+        build=lambda seed=0, n=8: ScenarioInstance(
+            "test_cycle", {"n": n}, seed, cycle_graph(n)
+        ),
+        default_params={"n": 10},
+        tiny_params={"n": 6},
+    ))
+    try:
+        records = run_matrix(scenario_matrix(families=["test_cycle"], size="tiny"))
+        assert {record["constructor"] for record in records if record["applicable"]} >= {
+            "empty", "steiner", "oblivious", "whole_tree",
+        }
+    finally:
+        # Keep the global registry pristine for other tests in this session.
+        registry_module._FAMILIES.pop("test_cycle", None)
+
+
+def test_shortcut_validation_still_guards_scenario_shortcuts():
+    instance = build_instance("planar", {"side": 4})
+    shortcut = constructor("steiner").build(instance, instance.tree, instance.parts("path"))
+    shortcut.validate()
+    shortcut.edge_sets[0] = frozenset({(("bogus", 0), ("bogus", 1))})
+    with pytest.raises(InvalidShortcutError):
+        shortcut.validate()
+
+
+# ----------------------------------------------------------------------- CLI
+
+
+def test_cli_list_runs(capsys):
+    assert scenarios_main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "families:" in out and "constructors:" in out and "algorithms:" in out
+
+
+def test_cli_tiny_sweep_writes_json(tmp_path):
+    output = tmp_path / "records.json"
+    code = scenarios_main([
+        "--families", "planar", "treewidth",
+        "--constructors", "steiner", "oblivious",
+        "--size", "tiny", "--output", str(output),
+    ])
+    assert code == 0
+    records = json.loads(output.read_text())
+    assert {record["family"] for record in records} == {"planar", "treewidth"}
+    assert all(record["applicable"] for record in records)
