@@ -1,0 +1,46 @@
+"""S3 -- CoreGraph paths versus the pre-refactor networkx paths (>=2x gate).
+
+The acceptance gate of the CSR kernel refactor: with the preserved
+``networkx`` reference implementations forced via
+``repro.core.networkx_reference_paths`` as the baseline,
+
+* ``Shortcut.measure()`` (flat congestion counting + epoch union-find
+  blocks) must be at least 2x faster than the per-part
+  ``nx.Graph``-components recomputation, and
+* the full simulated MST scenario on the n=2025 grid (core-mode simulator,
+  CSR aggregation trees and part validation, fast per-phase quality) must be
+  at least 2x faster than the same scenario on the pre-refactor paths,
+
+with both arms producing identical results.  On this hardware the measured
+ratios are ~25-35x for quality measurement and ~3x for the MST run.
+
+CI runs this file at a smaller n by setting ``CORE_BENCH_MST_SIDE`` /
+``CORE_BENCH_QUALITY_SIDE``; the MST ratio shrinks with n (fixed set-up
+costs weigh on the core arm), so the smoke also raises
+``CORE_BENCH_REPEATS`` -- both arms take the best of N runs, which keeps
+the ratio stable on noisy shared runners.
+"""
+
+import os
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import experiment_core_speedup
+
+MST_SIDE = int(os.environ.get("CORE_BENCH_MST_SIDE", "45"))
+QUALITY_SIDE = int(os.environ.get("CORE_BENCH_QUALITY_SIDE", "30"))
+REPEATS = int(os.environ.get("CORE_BENCH_REPEATS", "3"))
+
+
+def test_s3_core_speedup(benchmark):
+    result = run_experiment(
+        benchmark,
+        experiment_core_speedup,
+        mst_side=MST_SIDE,
+        quality_side=QUALITY_SIDE,
+        repeats=REPEATS,
+    )
+    assert result["quality"]["results_agree"]
+    assert result["mst"]["results_agree"]
+    assert result["quality"]["speedup"] >= 2.0
+    assert result["mst"]["speedup"] >= 2.0

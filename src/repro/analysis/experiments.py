@@ -32,6 +32,7 @@ from ..algorithms.mst_baselines import (
 )
 from ..congest.reference import ReferenceSimulator
 from ..congest.simulator import CongestSimulator
+from ..core import networkx_reference_paths
 from ..graphs.apex_vortex import build_almost_embeddable
 from ..graphs.clique_sum import clique_sum_compose
 from ..graphs.minor_free import perturbed_planar_graph
@@ -485,6 +486,107 @@ def experiment_scenario_matrix(
         "constructors_per_family": dict(sorted(per_family.items())),
         "instance_cache": {"instances": len(cache), "hits": cache.hits, "misses": cache.misses},
         "records": records,
+    }
+
+
+def experiment_core_speedup(
+    mst_side: int = 45,
+    quality_side: int = 30,
+    seed: int = 19,
+    quality_constructor: str = "whole_tree",
+    mst_constructor: str = "steiner",
+    repeats: int = 3,
+) -> dict:
+    """S3 -- CoreGraph paths versus the pre-refactor networkx paths.
+
+    Two timed comparisons, both against the preserved ``networkx``
+    reference implementations (forced via
+    :func:`repro.core.networkx_reference_paths`):
+
+    * **quality measurement**: ``Shortcut.measure()`` (flat Counter
+      congestion + epoch union-find blocks over the shared
+      :class:`~repro.core.GraphView`) versus ``measure_reference()``
+      (per-part ``nx.Graph`` + ``connected_components``) on a
+      ``quality_side x quality_side`` grid with path parts and the
+      ``quality_constructor`` shortcut (default ``whole_tree``: every part
+      carries the full spanning tree, the heaviest measurement shape);
+    * **the simulated MST run**: the full ``mst`` scenario (core-mode
+      simulator phases, CSR aggregation trees, CSR part validation, fast
+      quality per Boruvka phase) versus the same scenario inside the
+      reference context, on an ``mst_side x mst_side`` grid.
+
+    Both arms must agree on every measured quantity; wall-clock is best of
+    ``repeats``.  ``benchmarks/bench_core_speedup.py`` gates both ratios at
+    >=2x.
+    """
+    cache = InstanceCache()
+    # --- quality measurement -------------------------------------------
+    quality_instance = build_instance("planar", {"side": quality_side}, seed=seed, cache=cache)
+    quality_instance.view  # warm the shared conversion (one per sweep)
+    parts = quality_instance.parts("path")
+    shortcut = scenario_constructor(quality_constructor).build(
+        quality_instance, quality_instance.tree, parts
+    )
+
+    def best_of(function):
+        times = []
+        result = None
+        for _ in range(max(1, repeats)):
+            started = time.perf_counter()
+            result = function()
+            times.append(time.perf_counter() - started)
+        return min(times), result
+
+    fast_seconds, fast_measure = best_of(shortcut.measure)
+    reference_seconds, reference_measure = best_of(shortcut.measure_reference)
+    quality_agree = fast_measure == reference_measure
+
+    # --- the simulated MST run -----------------------------------------
+    warm = build_instance("planar", {"side": mst_side}, seed=seed, cache=cache)
+    warm.weighted_graph(seed)
+    warm.view
+    warm.tree  # the shared spanning tree is cache-warm for both arms
+    scenario = Scenario(
+        name=f"planar/{mst_constructor}/mst",
+        family="planar",
+        constructor=mst_constructor,
+        algorithm="mst",
+        params={"side": mst_side},
+        seed=seed,
+    )
+
+    def run_mst() -> dict:
+        return dict(run_scenario(scenario, cache=cache).as_dict()["result"])
+
+    core_seconds, core_result = best_of(run_mst)
+    with networkx_reference_paths():
+        pre_seconds, pre_result = best_of(run_mst)
+    mst_agree = all(
+        core_result[key] == pre_result[key]
+        for key in ("mst_rounds", "mst_phases", "mst_weight", "sim_rounds", "sim_messages", "sim_words")
+    )
+    return {
+        "experiment": "S3-core-speedup",
+        "quality": {
+            "n": quality_side * quality_side,
+            "num_parts": len(parts),
+            "constructor": quality_constructor,
+            "core_seconds": fast_seconds,
+            "reference_seconds": reference_seconds,
+            "speedup": reference_seconds / max(fast_seconds, 1e-9),
+            "results_agree": quality_agree,
+            "measure": fast_measure.as_row(),
+        },
+        "mst": {
+            "n": mst_side * mst_side,
+            "constructor": mst_constructor,
+            "core_seconds": core_seconds,
+            "reference_seconds": pre_seconds,
+            "speedup": pre_seconds / max(core_seconds, 1e-9),
+            "sim_speedup": pre_result["sim_seconds"] / max(core_result["sim_seconds"], 1e-9),
+            "results_agree": mst_agree,
+            "mst_rounds": core_result["mst_rounds"],
+        },
     }
 
 

@@ -28,6 +28,7 @@ from typing import Callable, Hashable, Mapping, Sequence
 
 import networkx as nx
 
+from ..core import core_enabled, view_of
 from ..errors import SimulationError
 from ..shortcuts.shortcut import Shortcut
 from ..structure.spanning import bfs_spanning_tree
@@ -79,6 +80,48 @@ def _aggregation_tree(augmented: nx.Graph, anchor: Hashable) -> dict[Hashable, H
     return parent
 
 
+def _aggregation_tree_core(
+    shortcut: Shortcut, index: int
+) -> dict[Hashable, Hashable | None]:
+    """The CSR twin of ``augmented_subgraph`` + ``_aggregation_tree``.
+
+    Builds the part's augmented adjacency (induced CSR slice of ``P_i`` plus
+    the ``H_i`` edges) as flat index lists and BFS-walks it from the minimum
+    index of the part.  Index order is repr order, so both the anchor choice
+    and the neighbour tie-breaking coincide with the networkx path and the
+    returned label-keyed parent map is identical.
+    """
+    view = view_of(shortcut.graph)
+    index_of = view.index_of
+    members = sorted(index_of(node) for node in shortcut.parts[index])
+    member_set = set(members)
+    adjacency: dict[int, list[int]] = {u: [] for u in members}
+    neighbors = view.core.neighbors
+    for u in members:
+        adjacency[u] = [v for v in neighbors(u) if v in member_set]
+    for a, b in shortcut.edge_sets[index]:
+        u, v = index_of(a), index_of(b)
+        row = adjacency.setdefault(u, [])
+        if v not in row:
+            row.append(v)
+        row = adjacency.setdefault(v, [])
+        if u not in row:
+            row.append(u)
+    anchor = members[0]
+    parent_idx: dict[int, int | None] = {anchor: None}
+    queue: deque[int] = deque([anchor])
+    while queue:
+        u = queue.popleft()
+        for v in sorted(adjacency[u]):
+            if v not in parent_idx:
+                parent_idx[v] = u
+                queue.append(v)
+    node_of = view.nodes
+    return {
+        node_of[u]: (None if p is None else node_of[p]) for u, p in parent_idx.items()
+    }
+
+
 def partwise_aggregate(
     shortcut: Shortcut,
     values: Mapping[Hashable, Value],
@@ -104,6 +147,7 @@ def partwise_aggregate(
     per_part_done: list[int] = [0] * num_parts
 
     # Per-part aggregation trees and bookkeeping.
+    use_core = core_enabled()
     parents: list[dict[Hashable, Hashable | None]] = []
     children_count: list[dict[Hashable, int]] = []
     pending_children: list[dict[Hashable, int]] = []
@@ -113,9 +157,12 @@ def partwise_aggregate(
         for vertex in part:
             if vertex not in values:
                 raise SimulationError(f"no input value for vertex {vertex} of part {index}")
-        augmented = shortcut.augmented_subgraph(index)
-        anchor = min(part, key=repr)
-        parent = _aggregation_tree(augmented, anchor)
+        if use_core:
+            parent = _aggregation_tree_core(shortcut, index)
+        else:
+            augmented = shortcut.augmented_subgraph(index)
+            anchor = min(part, key=repr)
+            parent = _aggregation_tree(augmented, anchor)
         parents.append(parent)
         counts: dict[Hashable, int] = {node: 0 for node in parent}
         for node, par in parent.items():
@@ -131,12 +178,26 @@ def partwise_aggregate(
         )
 
     # Build the initial set of ready "up" tasks: leaves of each aggregation tree.
+    # Directed edges deliver in canonical (repr) order each round.  On the
+    # core path the schedule tracks only edges with queued tasks (with their
+    # repr computed once); the reference path re-sorts -- and re-reprs -- the
+    # full key set every round, exactly like the pre-CoreGraph implementation.
+    # Both visit the same non-empty queues in the same order.
     edge_queues: dict[DirectedEdge, deque[_Task]] = {}
+    active_edges: set[DirectedEdge] = set()
+    edge_key: dict[DirectedEdge, str] = {}
     outstanding = 0
 
     def enqueue(task: _Task) -> None:
         nonlocal outstanding
-        edge_queues.setdefault(task.edge, deque()).append(task)
+        queue = edge_queues.get(task.edge)
+        if queue is None:
+            queue = edge_queues[task.edge] = deque()
+            if use_core:
+                edge_key[task.edge] = repr(task.edge)
+        queue.append(task)
+        if use_core:
+            active_edges.add(task.edge)
         outstanding += 1
 
     for index in range(num_parts):
@@ -156,12 +217,18 @@ def partwise_aggregate(
         rounds += 1
         delivered: list[_Task] = []
         # Each directed edge delivers at most one message per round.
-        for edge in sorted(edge_queues.keys(), key=repr):
+        if use_core:
+            schedule = sorted(active_edges, key=edge_key.__getitem__)
+        else:
+            schedule = sorted(edge_queues.keys(), key=repr)
+        for edge in schedule:
             queue = edge_queues[edge]
             if queue:
                 delivered.append(queue.popleft())
                 outstanding -= 1
                 messages += 1
+                if use_core and not queue:
+                    active_edges.discard(edge)
         for task in delivered:
             index = task.part
             parent = parents[index]

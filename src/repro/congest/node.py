@@ -28,9 +28,16 @@ class NodeContext:
     most of the primitives -- therefore never pay for a diameter
     computation, which is what keeps the simulator's set-up cost
     proportional to the graph size rather than to an all-pairs BFS.
+
+    ``id_key`` is the canonical sort key for node identifiers, used by
+    programs that tie-break on ids (BFS parent choice, leader election).
+    Label-mode simulations use ``repr``; the CSR core mode passes the
+    identity, because indices are assigned in repr order of the labels --
+    the two keys therefore induce the *same* total order, which is what
+    keeps the core-mode executions bit-compatible with label-mode ones.
     """
 
-    __slots__ = ("node", "neighbours", "edge_weights", "num_nodes", "_diameter_bound")
+    __slots__ = ("node", "neighbours", "edge_weights", "num_nodes", "id_key", "_diameter_bound")
 
     def __setattr__(self, name: str, value: object) -> None:
         # Immutable after construction (like the frozen dataclass it replaces),
@@ -46,11 +53,13 @@ class NodeContext:
         edge_weights: Mapping[Hashable, float],
         num_nodes: int,
         diameter_bound: int | Callable[[], int],
+        id_key: Callable[[Hashable], object] = repr,
     ) -> None:
         self.node = node
         self.neighbours = neighbours
         self.edge_weights = edge_weights
         self.num_nodes = num_nodes
+        self.id_key = id_key
         self._diameter_bound = diameter_bound
 
     @property

@@ -10,7 +10,12 @@ check both their outputs and their ``O(D)`` round counts.
 Every primitive accepts a ``simulator_cls`` so that callers (the scenario
 engine, the differential tests, the speedup benchmark) can run the same
 node programs under the active-set :class:`CongestSimulator` or the
-full-scan :class:`repro.congest.reference.ReferenceSimulator`.
+full-scan :class:`repro.congest.reference.ReferenceSimulator` -- and a
+``graph`` that is either an ``nx.Graph`` or a
+:class:`repro.core.GraphView`.  Given a view the simulation runs in core
+mode (integer node ids over CSR slices); the primitives translate the
+caller-facing labels at the boundary (the root argument in, parent
+pointers and leaders out), so results are label-identical either way.
 """
 
 from __future__ import annotations
@@ -19,37 +24,45 @@ from typing import Hashable
 
 import networkx as nx
 
+from ..core import GraphView
 from ..structure.spanning import RootedTree
 from .node import NodeContext, NodeProgram
 from .simulator import CongestSimulator, SimulationResult
 
 
 class _BfsProgram(NodeProgram):
-    """Flood a BFS token from the root; every node records its parent."""
+    """Flood a BFS token from the root; every node records its parent.
+
+    Nodes waiting for the wavefront *halt* instead of idling: a halted node
+    with mail is woken by the simulator, so the active set each round is the
+    genuine BFS frontier (plus its recipients), not every unjoined node.
+    The message pattern -- and therefore rounds, messages and words -- is
+    unchanged; only the executed-node telemetry tightens.
+    """
 
     def __init__(self, context: NodeContext, root: Hashable) -> None:
         super().__init__(context)
         self.root = root
         self.parent: Hashable | None = None
         self.joined = context.node == root
-        self.to_notify: list[Hashable] = list(context.neighbours) if self.joined else []
 
     def on_start(self) -> dict[Hashable, object]:
         if self.joined:
             return {neighbour: ("bfs", 0) for neighbour in self.context.neighbours}
+        self.halted = True  # sleep until the wavefront's message wakes us
         return {}
 
     def on_round(self, round_number: int, inbox: dict[Hashable, object]) -> dict[Hashable, object]:
+        self.halted = True
         if self.joined:
-            self.halted = True
             return {}
         offers = [(message[1], sender) for sender, message in inbox.items() if message[0] == "bfs"]
         if not offers:
             return {}
-        depth, sender = min(offers, key=lambda item: (item[0], repr(item[1])))
+        id_key = self.context.id_key
+        depth, sender = min(offers, key=lambda item: (item[0], id_key(item[1])))
         self.parent = sender
         self.joined = True
-        self.halted = True
         return {
             neighbour: ("bfs", depth + 1)
             for neighbour in self.context.neighbours
@@ -61,7 +74,7 @@ class _BfsProgram(NodeProgram):
 
 
 def distributed_bfs_tree(
-    graph: nx.Graph,
+    graph: nx.Graph | GraphView,
     root: Hashable,
     simulator_cls: type[CongestSimulator] = CongestSimulator,
 ) -> tuple[RootedTree, SimulationResult]:
@@ -70,13 +83,26 @@ def distributed_bfs_tree(
     The round count of the returned :class:`SimulationResult` is ``O(D)``,
     which the tests assert; the resulting tree is used as the spanning tree
     ``T`` of the shortcut framework exactly as Theorem 1 prescribes.
+
+    ``root`` is always a node *label*; in core mode the primitive converts it
+    to an index on the way in and maps the parent pointers back to labels on
+    the way out, so the returned tree is label-keyed either way.
     """
-    simulator = simulator_cls(graph, lambda ctx: _BfsProgram(ctx, root))
+    view = graph if isinstance(graph, GraphView) else None
+    program_root = root if view is None else view.index_of(root)
+    simulator = simulator_cls(graph, lambda ctx: _BfsProgram(ctx, program_root))
     result = simulator.run()
-    parent = {node: output for node, output in result.outputs.items()}
+    if view is None:
+        parent = {node: output for node, output in result.outputs.items()}
+    else:
+        node_of = view.nodes
+        parent = {
+            node: (None if output is None else node_of[output])
+            for node, output in result.outputs.items()
+        }
     parent[root] = None
     tree = RootedTree(parent, root)
-    tree.validate(graph)
+    tree.validate(view.graph if view is not None else graph)
     return tree, result
 
 
@@ -93,8 +119,9 @@ class _FloodMaxProgram(NodeProgram):
 
     def on_round(self, round_number: int, inbox: dict[Hashable, object]) -> dict[Hashable, object]:
         improved = False
+        id_key = self.context.id_key
         for message in inbox.values():
-            if repr(message) > repr(self.best):
+            if id_key(message) > id_key(self.best):
                 self.best = message
                 improved = True
         if improved:
@@ -109,20 +136,31 @@ class _FloodMaxProgram(NodeProgram):
 
 
 def flood_max_id(
-    graph: nx.Graph,
+    graph: nx.Graph | GraphView,
     simulator_cls: type[CongestSimulator] = CongestSimulator,
 ) -> tuple[Hashable, SimulationResult]:
-    """Elect the maximum-id node as the leader by flooding; return (leader, stats)."""
+    """Elect the maximum-id node as the leader by flooding; return (leader, stats).
+
+    In core mode the elected maximum *index* is the maximum-repr label (index
+    order is repr order), returned in label form.
+    """
     simulator = simulator_cls(graph, _FloodMaxProgram)
     result = simulator.run()
     leaders = set(result.outputs.values())
     if len(leaders) != 1:
         raise RuntimeError(f"leader election did not converge: {leaders}")
-    return next(iter(leaders)), result
+    leader = next(iter(leaders))
+    if isinstance(graph, GraphView):
+        leader = graph.node_of(leader)
+    return leader, result
 
 
 class _BroadcastProgram(NodeProgram):
-    """Flood a single value from one source to every node (leader announcement)."""
+    """Flood a single value from one source to every node (leader announcement).
+
+    Like :class:`_BfsProgram`, uninformed nodes halt and are woken by the
+    flood's messages, so the per-round active set is the flood frontier.
+    """
 
     def __init__(self, context: NodeContext, source: Hashable, value: object) -> None:
         super().__init__(context)
@@ -133,18 +171,18 @@ class _BroadcastProgram(NodeProgram):
     def on_start(self) -> dict[Hashable, object]:
         if self.informed:
             return {neighbour: ("bc", self.value) for neighbour in self.context.neighbours}
+        self.halted = True  # sleep until the flood's message wakes us
         return {}
 
     def on_round(self, round_number: int, inbox: dict[Hashable, object]) -> dict[Hashable, object]:
+        self.halted = True
         if self.informed:
-            self.halted = True
             return {}
         offers = [message[1] for message in inbox.values() if message[0] == "bc"]
         if not offers:
             return {}
         self.value = offers[0]
         self.informed = True
-        self.halted = True
         senders = {sender for sender, message in inbox.items() if message[0] == "bc"}
         return {
             neighbour: ("bc", self.value)
@@ -157,7 +195,7 @@ class _BroadcastProgram(NodeProgram):
 
 
 def broadcast_value(
-    graph: nx.Graph,
+    graph: nx.Graph | GraphView,
     source: Hashable,
     value: object,
     simulator_cls: type[CongestSimulator] = CongestSimulator,
@@ -167,9 +205,15 @@ def broadcast_value(
     Used by the scenario engine to charge the ``O(D)`` result-announcement
     phase of the distributed algorithms as a genuine simulated execution.
     The returned outputs map every node to the received value, which the
-    callers assert for correctness.
+    callers assert for correctness.  ``source`` is a label; in core mode it
+    is converted to an index at the boundary.
     """
-    simulator = simulator_cls(graph, lambda ctx: _BroadcastProgram(ctx, source, value))
+    program_source = (
+        graph.index_of(source) if isinstance(graph, GraphView) else source
+    )
+    simulator = simulator_cls(
+        graph, lambda ctx: _BroadcastProgram(ctx, program_source, value)
+    )
     result = simulator.run()
     wrong = [node for node, output in result.outputs.items() if output != value]
     if wrong:

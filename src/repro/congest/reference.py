@@ -93,7 +93,7 @@ class ReferenceSimulator(CongestSimulator):
         else:
             raise SimulationError(f"simulation did not converge within {max_rounds} rounds")
 
-        outputs = {node: programs[node].result() for node in self._order}
+        outputs = self._final_outputs()
         return SimulationResult(
             rounds=last_active_round,
             messages=total_messages,

@@ -20,6 +20,19 @@ round counts depend on *where* the silence happened.
 :class:`ReferenceSimulator` in :mod:`repro.congest.reference` preserves the
 seed's full-scan behaviour (same results, eager diameter, O(n) per round)
 as a differential-testing oracle and benchmark baseline.
+
+Handing the simulator a :class:`repro.core.GraphView` instead of an
+``nx.Graph`` switches it into **core mode**: node identifiers are the
+view's integer indices, neighbour lists come straight from CSR slices, the
+active set sorts as plain ints and topology checks hit flat neighbour sets
+-- no per-round dict-of-dict walks.  Because the view assigns indices in
+repr order, a core-mode execution is round-for-round identical to the
+label-mode one; only the node ids seen *inside* programs (contexts,
+inboxes, message payloads built from ids) are indices.  ``run()`` keys the
+result's ``outputs`` by the original labels either way; callers whose
+programs emit node ids in their results (e.g. BFS parent pointers) map
+those values back through ``view.node_of`` -- see
+:func:`repro.congest.primitives.distributed_bfs_tree`.
 """
 
 from __future__ import annotations
@@ -29,6 +42,7 @@ from typing import Callable, Hashable
 
 import networkx as nx
 
+from ..core import GraphView
 from ..errors import SimulationError
 from ..graphs.weights import WEIGHT
 from ..utils import require_connected, require_simple
@@ -100,21 +114,27 @@ class CongestSimulator:
 
     def __init__(
         self,
-        graph: nx.Graph,
+        graph: nx.Graph | GraphView,
         program_factory: Callable[[NodeContext], NodeProgram],
         bandwidth_words: int = 3,
         diameter_bound: int | None = None,
     ) -> None:
-        require_connected(graph, "network graph")
-        require_simple(graph, "network graph")
-        self.graph = graph
+        self._view: GraphView | None = graph if isinstance(graph, GraphView) else None
         self.bandwidth_words = bandwidth_words
         self._diameter_bound = diameter_bound
         self.programs: dict[Hashable, NodeProgram] = {}
+        if self._view is not None:
+            self._init_core(self._view, program_factory)
+            return
+        require_connected(graph, "network graph")
+        require_simple(graph, "network graph")
+        self.graph = graph
+        self._neighbour_sets = None
         n = graph.number_of_nodes()
         # Deterministic node order, independent of graph insertion order.
         self._order: list[Hashable] = sorted(graph.nodes(), key=repr)
         self._rank: dict[Hashable, int] = {node: i for i, node in enumerate(self._order)}
+        self._sort_key = self._rank.__getitem__
         for node in self._order:
             neighbours = tuple(sorted(graph.neighbors(node), key=repr))
             weights = {
@@ -129,12 +149,48 @@ class CongestSimulator:
             )
             self.programs[node] = program_factory(context)
 
+    def _init_core(
+        self, view: GraphView, program_factory: Callable[[NodeContext], NodeProgram]
+    ) -> None:
+        """Core mode: nodes are CSR indices, adjacency comes from flat slices."""
+        core = view.core
+        if not core.is_connected():
+            raise SimulationError("network graph is empty or not connected")
+        self.graph = view.graph
+        n = core.num_nodes
+        # Index order == repr order of the labels, so this *is* the canonical
+        # deterministic order; ints sort natively (no rank map needed).
+        self._order = list(range(n))
+        self._rank = None
+        self._sort_key = None
+        neighbour_sets: list[set[int]] = []
+        identity = _identity
+        resolve = self._resolve_diameter_bound
+        for node in self._order:
+            neighbours = core.neighbors(node)
+            weights = dict(zip(neighbours, core.neighbor_weights(node)))
+            neighbour_sets.append(set(neighbours))
+            context = NodeContext(
+                node=node,
+                neighbours=tuple(neighbours),
+                edge_weights=weights,
+                num_nodes=n,
+                diameter_bound=resolve,
+                id_key=identity,
+            )
+            self.programs[node] = program_factory(context)
+        self._neighbour_sets = neighbour_sets
+
     def _resolve_diameter_bound(self) -> int:
         if self._diameter_bound is None:
-            graph = self.graph
-            self._diameter_bound = (
-                nx.diameter(graph) if graph.number_of_nodes() > 1 else 0
-            )
+            if self._view is not None:
+                core = self._view.core
+                self._diameter_bound = core.exact_diameter()
+            else:
+                graph = self.graph
+                self._diameter_bound = (
+                    nx.diameter(graph) if graph.number_of_nodes() > 1 else 0
+                )
         return self._diameter_bound
 
     @property
@@ -143,8 +199,13 @@ class CongestSimulator:
         return self._resolve_diameter_bound()
 
     def _validate_outgoing(self, sender: Hashable, outgoing: dict[Hashable, object]) -> None:
+        neighbour_sets = self._neighbour_sets
         for target, message in outgoing.items():
-            if not self.graph.has_edge(sender, target):
+            if neighbour_sets is not None:
+                ok = target in neighbour_sets[sender]
+            else:
+                ok = self.graph.has_edge(sender, target)
+            if not ok:
                 raise SimulationError(
                     f"node {sender} attempted to send to non-neighbour {target}"
                 )
@@ -155,10 +216,18 @@ class CongestSimulator:
                     f"bandwidth of {self.bandwidth_words} words per edge per round"
                 )
 
+    def _final_outputs(self) -> dict[Hashable, object]:
+        """Collect per-node results, keyed by original labels in core mode."""
+        programs = self.programs
+        if self._view is not None:
+            node_of = self._view.nodes
+            return {node_of[index]: programs[index].result() for index in self._order}
+        return {node: programs[node].result() for node in self._order}
+
     def run(self, max_rounds: int = 10_000) -> SimulationResult:
         """Run the simulation to quiescence (all halted, no messages in flight)."""
         programs = self.programs
-        rank = self._rank
+        sort_key = self._sort_key
         # pending maps recipient -> {sender: message}; inbox dicts are created
         # on demand, so idle nodes never own (or cause the allocation of) a
         # buffer.  live is the set of non-halted programs; together with the
@@ -203,7 +272,7 @@ class CongestSimulator:
             active = live if not inboxes else live.union(inboxes.keys())
             sent = words = 0
             executed = 0
-            for node in sorted(active, key=rank.__getitem__):
+            for node in sorted(active, key=sort_key):
                 program = programs[node]
                 inbox = inboxes.get(node)
                 if inbox is None:
@@ -229,11 +298,15 @@ class CongestSimulator:
             if sent or delivered:
                 last_active_round = round_number
 
-        outputs = {node: programs[node].result() for node in self._order}
         return SimulationResult(
             rounds=last_active_round,
             messages=total_messages,
             words=total_words,
-            outputs=outputs,
+            outputs=self._final_outputs(),
             telemetry=telemetry,
         )
+
+
+def _identity(value: object) -> object:
+    """The core-mode id sort key: indices already sort in canonical order."""
+    return value

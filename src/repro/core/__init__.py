@@ -1,0 +1,59 @@
+"""``repro.core``: the CSR-backed graph kernel under the whole reproduction.
+
+Two classes and one cache:
+
+* :class:`CoreGraph` -- immutable int-indexed CSR adjacency (flat
+  ``indptr`` / ``indices`` / ``weights`` arrays) with BFS, eccentricity,
+  diameter and connectivity primitives;
+* :class:`GraphView` -- the label <-> index adapter that converts an
+  ``nx.Graph`` once at the construction boundary and can round-trip back;
+* :func:`view_of` -- the per-graph memoised conversion every layer shares.
+
+The traversal layer (``repro.structure``), the quality measurements
+(``repro.shortcuts.shortcut``) and the CONGEST simulator
+(``repro.congest.simulator``) all accept a :class:`GraphView` and run on
+the CSR arrays; ``networkx`` remains the generator/witness frontend.
+"""
+
+from contextlib import contextmanager
+
+from .graph import CoreGraph
+from .view import GraphView, view_of
+
+_CORE_ENABLED = True
+
+
+def core_enabled() -> bool:
+    """True when the CSR fast paths are active (the default)."""
+    return _CORE_ENABLED
+
+
+@contextmanager
+def networkx_reference_paths():
+    """Force every dual-path function down its preserved ``networkx`` branch.
+
+    The pre-CoreGraph implementations are kept alongside the CSR fast paths
+    as differential oracles (the same pattern as
+    :class:`repro.congest.ReferenceSimulator`).  Inside this context the
+    shortcut quality measurement, part validation, part-wise aggregation and
+    the scenario engine's simulator wiring all run the ``networkx``
+    dict-of-dict code: ``benchmarks/bench_core_speedup.py`` uses it as the
+    baseline arm of the >=2x gate, and the differential tests assert that
+    records computed inside and outside the context are identical.
+    """
+    global _CORE_ENABLED
+    previous = _CORE_ENABLED
+    _CORE_ENABLED = False
+    try:
+        yield
+    finally:
+        _CORE_ENABLED = previous
+
+
+__all__ = [
+    "CoreGraph",
+    "GraphView",
+    "core_enabled",
+    "networkx_reference_paths",
+    "view_of",
+]

@@ -1,0 +1,142 @@
+"""The :class:`GraphView` adapter: labels on the outside, CSR on the inside.
+
+Every algorithm in the reproduction historically consumed ``nx.Graph``
+objects with arbitrary hashable node labels (grid coordinates, strings,
+tuples).  :class:`GraphView` performs that conversion **once** at the
+construction boundary: it relabels the nodes to ``0 .. n-1`` (in the
+package-wide canonical order, sorted by ``repr``), builds the CSR
+:class:`~repro.core.graph.CoreGraph`, and keeps the ``node_of`` /
+``index_of`` bijection so results computed on indices can be handed back in
+label form.  :func:`to_networkx` round-trips the view back into a
+standalone ``nx.Graph`` with the original labels and edge weights.
+
+:func:`view_of` memoises views per ``nx.Graph`` object (weakly, so graphs
+are not kept alive by the cache): a scenario sweep running several
+constructors and algorithms over one instance pays for a single conversion.
+
+The canonical repr-sorted order is load-bearing: index order then coincides
+with the ``sorted(..., key=repr)`` tie-breaking used throughout the
+``networkx`` code paths, which is what lets the CSR fast paths reproduce
+their results *exactly* (the differential tests in
+``tests/test_core_graphview.py`` pin this).
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Hashable
+
+import networkx as nx
+
+from ..errors import InvalidGraphError
+from ..graphs.weights import WEIGHT
+from .graph import CoreGraph
+
+
+class GraphView:
+    """A one-time conversion of an ``nx.Graph`` into an int-indexed CSR kernel.
+
+    Attributes:
+        graph: the source ``nx.Graph`` (kept by reference, never copied).
+        core: the :class:`CoreGraph` over indices ``0 .. n-1``.
+        nodes: the label of every index, i.e. ``nodes[i]`` is the node whose
+            index is ``i``; sorted by ``repr`` so that index order equals
+            the package's canonical node order.
+    """
+
+    __slots__ = ("graph", "core", "nodes", "_index", "_has_weights", "__weakref__")
+
+    def __init__(self, graph: nx.Graph, sort_neighbours: bool = True) -> None:
+        labels = sorted(graph.nodes(), key=repr)
+        index: dict[Hashable, int] = {label: i for i, label in enumerate(labels)}
+        if len(index) != len(labels):
+            raise InvalidGraphError("graph has duplicate node labels")
+        has_weights = False
+        edges = []
+        for u, v, data in graph.edges(data=True):
+            if u == v:
+                raise InvalidGraphError(f"GraphView rejects self-loop ({u}, {v})")
+            weight = data.get(WEIGHT)
+            if weight is None:
+                weight = 1.0
+            else:
+                has_weights = True
+            edges.append((index[u], index[v], weight))
+        self.graph = graph
+        self.nodes = labels
+        self._index = index
+        self._has_weights = has_weights
+        self.core = CoreGraph(len(labels), edges, sort_neighbours=sort_neighbours)
+
+    # -- the bijection -----------------------------------------------------
+
+    def index_of(self, node: Hashable) -> int:
+        """Return the index of a node label (raises ``KeyError`` if absent)."""
+        return self._index[node]
+
+    def node_of(self, index: int) -> Hashable:
+        """Return the label of an index."""
+        return self.nodes[index]
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._index
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def number_of_nodes(self) -> int:
+        return self.core.num_nodes
+
+    @property
+    def number_of_edges(self) -> int:
+        return self.core.num_edges
+
+    # -- round trip --------------------------------------------------------
+
+    def to_networkx(self) -> nx.Graph:
+        """Rebuild a standalone ``nx.Graph`` from the arrays.
+
+        Labels come back verbatim; edge weights are re-attached whenever the
+        source graph carried any explicit ``weight`` attribute (a graph that
+        had none round-trips to a graph with none, so unit-weight semantics
+        are preserved either way).
+        """
+        rebuilt = nx.Graph()
+        rebuilt.add_nodes_from(self.nodes)
+        node_of = self.nodes
+        if self._has_weights:
+            rebuilt.add_weighted_edges_from(
+                (node_of[u], node_of[v], weight) for u, v, weight in self.core.edges()
+            )
+        else:
+            rebuilt.add_edges_from(
+                (node_of[u], node_of[v]) for u, v, _weight in self.core.edges()
+            )
+        return rebuilt
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"GraphView(n={self.number_of_nodes}, m={self.number_of_edges})"
+
+
+# One shared conversion per nx.Graph object.  Weak keys: dropping the graph
+# drops its view; weak values are unnecessary (the view references the graph,
+# not vice versa).  Graphs are treated as frozen once viewed -- every caller
+# in this package mutates weights *before* deriving structures, and the
+# scenario layer documents the convention.
+_VIEW_CACHE: "weakref.WeakKeyDictionary[nx.Graph, GraphView]" = weakref.WeakKeyDictionary()
+
+
+def view_of(graph: nx.Graph | GraphView) -> GraphView:
+    """Return the memoised :class:`GraphView` of ``graph`` (build it once).
+
+    Accepts an existing view and returns it unchanged, so code that wants
+    "a view of whatever I was given" can call this unconditionally.
+    """
+    if isinstance(graph, GraphView):
+        return graph
+    view = _VIEW_CACHE.get(graph)
+    if view is None:
+        view = GraphView(graph)
+        _VIEW_CACHE[graph] = view
+    return view

@@ -1,11 +1,16 @@
 """Command-line entry point: run a scenario matrix and print JSON records.
 
+The sweep is filterable along all three registry axes (``--families``,
+``--constructors``, ``--algorithms``) and can fan out over a process pool
+with ``--jobs N``; records are always emitted in the same deterministic
+(family x constructor x algorithm) order regardless of ``--jobs``.
+
 Examples::
 
     python -m repro.scenarios --list
     python -m repro.scenarios --size tiny
     python -m repro.scenarios --families planar apex --constructors oblivious steiner \
-        --algorithm mst --seed 3 --output records.json
+        --algorithms quality mst --seed 3 --jobs 4 --output records.json
 """
 
 from __future__ import annotations
@@ -44,18 +49,29 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.scenarios",
         description="Run a family x constructor x algorithm scenario matrix.",
     )
-    parser.add_argument("--families", nargs="*", default=None, help="families to sweep")
+    # nargs="+" everywhere: a bare `--families` with no names is a usage
+    # error instead of silently collapsing the sweep to nothing.
+    parser.add_argument("--families", nargs="+", default=None, help="families to sweep")
     parser.add_argument(
-        "--constructors", nargs="*", default=None, help="constructors to try per family"
+        "--constructors", nargs="+", default=None, help="constructors to try per family"
     )
     parser.add_argument(
-        "--algorithm", default="quality", choices=algorithm_names(), help="workload per cell"
+        "--algorithms",
+        "--algorithm",
+        dest="algorithms",
+        nargs="+",
+        default=("quality",),
+        choices=algorithm_names(),
+        help="workloads per cell (one sweep per algorithm, concatenated)",
     )
     parser.add_argument(
         "--size", default="default", choices=("default", "tiny"), help="instance sizes"
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--num-parts", type=int, default=6, help="parts per instance")
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the sweep (1 = serial)"
+    )
     parser.add_argument("--output", default=None, help="write records to this JSON file")
     parser.add_argument("--list", action="store_true", help="print the registries and exit")
     args = parser.parse_args(argv)
@@ -63,21 +79,25 @@ def main(argv: list[str] | None = None) -> int:
     if args.list:
         _print_registry()
         return 0
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
 
     cache = InstanceCache()
+    scenarios = []
     try:
-        scenarios = scenario_matrix(
-            families=args.families,
-            constructors=args.constructors,
-            algorithm_name=args.algorithm,
-            size=args.size,
-            seed=args.seed,
-            parts={"kind": "tree_fragments", "num_parts": args.num_parts},
-            cache=cache,
-        )
+        for algorithm_name in dict.fromkeys(args.algorithms):  # de-dupe, keep order
+            scenarios.extend(scenario_matrix(
+                families=args.families,
+                constructors=args.constructors,
+                algorithm_name=algorithm_name,
+                size=args.size,
+                seed=args.seed,
+                parts={"kind": "tree_fragments", "num_parts": args.num_parts},
+                cache=cache,
+            ))
     except KeyError as error:
         parser.error(str(error.args[0]) if error.args else str(error))
-    records = run_matrix(scenarios, cache=cache)
+    records = run_matrix(scenarios, cache=cache, jobs=args.jobs)
     payload = json.dumps(records, indent=2, default=str)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

@@ -7,16 +7,20 @@ family and a seed.  :func:`run_scenario` executes one spec;
 shared :class:`InstanceCache`; :func:`scenario_matrix` builds the default
 sweep (every registered family crossed with every applicable constructor).
 
-``python -m repro.scenarios`` is the command-line entry point over these
-functions.
+:func:`run_matrix` takes ``jobs=N`` to fan the sweep out over a process
+pool (one :class:`InstanceCache` per worker process, results in the same
+deterministic order as the serial sweep).  ``python -m repro.scenarios`` is
+the command-line entry point over these functions.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
 from ..congest.simulator import CongestSimulator
+from ..core import core_enabled, networkx_reference_paths
 from .instances import InstanceCache, ScenarioInstance
 from .registry import (
     algorithm,
@@ -202,12 +206,46 @@ def scenario_matrix(
     return scenarios
 
 
+# Per-worker-process instance cache for parallel sweeps: tasks landing on the
+# same worker share generated instances (and their GraphViews) just like a
+# serial sweep shares one InstanceCache.
+_WORKER_CACHE: InstanceCache | None = None
+
+
+def _run_scenario_job(payload: tuple[Scenario, type, bool]) -> dict[str, object]:
+    global _WORKER_CACHE
+    scenario, simulator_cls, use_core = payload
+    if _WORKER_CACHE is None:
+        _WORKER_CACHE = InstanceCache()
+    if not use_core:
+        # The parent sweep ran inside networkx_reference_paths(); mirror that
+        # in the worker (the flag is a module global, not inherited by spawn).
+        with networkx_reference_paths():
+            return run_scenario(
+                scenario, cache=_WORKER_CACHE, simulator_cls=simulator_cls
+            ).as_dict()
+    return run_scenario(scenario, cache=_WORKER_CACHE, simulator_cls=simulator_cls).as_dict()
+
+
 def run_matrix(
     scenarios: Iterable[Scenario],
     cache: InstanceCache | None = None,
     simulator_cls: type[CongestSimulator] = CongestSimulator,
+    jobs: int = 1,
 ) -> list[dict[str, object]]:
-    """Run every scenario through a shared instance cache; return JSON records."""
+    """Run every scenario through a shared instance cache; return JSON records.
+
+    With ``jobs > 1`` the scenarios are distributed over a process pool; each
+    worker keeps its own :class:`InstanceCache` for the sweep, and the
+    records come back in the same order as ``scenarios`` (scenario execution
+    is deterministic, so the parallel sweep is record-for-record identical
+    to the serial one).
+    """
+    scenarios = list(scenarios)
+    if jobs is not None and jobs > 1 and len(scenarios) > 1:
+        payloads = [(scenario, simulator_cls, core_enabled()) for scenario in scenarios]
+        with ProcessPoolExecutor(max_workers=min(jobs, len(scenarios))) as pool:
+            return list(pool.map(_run_scenario_job, payloads))
     cache = cache if cache is not None else InstanceCache()
     return [
         run_scenario(scenario, cache=cache, simulator_cls=simulator_cls).as_dict()

@@ -14,6 +14,7 @@ from typing import Hashable, Mapping
 
 import networkx as nx
 
+from ..core import GraphView, core_enabled, view_of
 from ..errors import InvalidGraphError
 from ..graphs.weights import assign_random_weights
 from ..shortcuts.parts import path_parts, singleton_parts, tree_fragment_parts
@@ -56,10 +57,21 @@ class ScenarioInstance:
     # -- cached derivations -------------------------------------------------
 
     @property
+    def view(self) -> GraphView:
+        """The shared CSR :class:`GraphView` of the instance graph.
+
+        Cached alongside the ``nx`` instance (via the package-wide
+        :func:`repro.core.view_of` memo), so every constructor and algorithm
+        in a sweep shares one label-to-index conversion.
+        """
+        return view_of(self.graph)
+
+    @property
     def tree(self) -> RootedTree:
         """The shared BFS spanning tree ``T`` (built once per instance)."""
         if self._tree is None:
-            self._tree = bfs_spanning_tree(self.graph)
+            graph = self.view if core_enabled() else self.graph
+            self._tree = bfs_spanning_tree(graph)
         return self._tree
 
     def parts(self, kind: str = "tree_fragments", **kwargs) -> list[frozenset]:

@@ -30,6 +30,7 @@ import networkx as nx
 from ..algorithms.mincut import approximate_min_cut
 from ..algorithms.mst import boruvka_mst, reference_mst_weight
 from ..congest.aggregation import partwise_aggregate
+from ..core import core_enabled, view_of
 from ..congest.primitives import broadcast_value, distributed_bfs_tree
 from ..congest.simulator import CongestSimulator
 from ..graphs.apex_vortex import AlmostEmbeddableGraph, build_almost_embeddable
@@ -433,16 +434,21 @@ def _run_mst(
     programs under ``simulator_cls``; their wall-clock time is reported as
     ``sim_seconds`` (the quantity the speedup benchmark compares across
     simulator implementations) alongside the simulators' round telemetry.
+    By default the simulated phases run in core mode (the weighted graph's
+    :class:`~repro.core.GraphView`); inside
+    :func:`repro.core.networkx_reference_paths` they run on the ``nx`` graph
+    exactly as before the CoreGraph refactor.
     """
     weighted = instance.weighted_graph(seed)
+    network = view_of(weighted) if core_enabled() else weighted
     root = min(weighted.nodes(), key=repr)
     started = time.perf_counter()
-    sim_tree, bfs_stats = distributed_bfs_tree(weighted, root, simulator_cls=simulator_cls)
+    sim_tree, bfs_stats = distributed_bfs_tree(network, root, simulator_cls=simulator_cls)
     sim_seconds = time.perf_counter() - started
     result = boruvka_mst(weighted, shortcut_builder=builder, tree=sim_tree)
     started = time.perf_counter()
     announce_stats = broadcast_value(
-        weighted, root, round(result.weight, 6), simulator_cls=simulator_cls
+        network, root, round(result.weight, 6), simulator_cls=simulator_cls
     )
     sim_seconds += time.perf_counter() - started
     record = {

@@ -17,14 +17,39 @@ from typing import Hashable, Sequence
 
 import networkx as nx
 
+from ..core import core_enabled, view_of
 from ..errors import InvalidPartitionError
 from ..graphs.weights import WEIGHT
 from ..structure.spanning import RootedTree, bfs_spanning_tree
 from ..utils import ensure_rng
 
 
+def _part_connected_core(view, part: frozenset) -> bool:
+    """Connectivity of ``graph[part]`` via a CSR BFS restricted to the part."""
+    index_of = view.index_of
+    members = {index_of(node) for node in part}
+    neighbors = view.core.neighbors
+    start = next(iter(members))
+    reached = {start}
+    stack = [start]
+    while stack:
+        for v in neighbors(stack.pop()):
+            if v in members and v not in reached:
+                reached.add(v)
+                stack.append(v)
+    return len(reached) == len(members)
+
+
 def validate_parts(graph: nx.Graph, parts: Sequence[frozenset]) -> None:
-    """Check Definition 9: parts are disjoint, non-empty and connected in ``graph``."""
+    """Check Definition 9: parts are disjoint, non-empty and connected in ``graph``.
+
+    Connectivity runs on the graph's shared :class:`~repro.core.GraphView`
+    (one subgraph-free BFS per part) unless the networkx reference paths are
+    forced, in which case the original per-part ``subgraph`` +
+    ``is_connected`` check is used.
+    """
+    view = view_of(graph) if core_enabled() else None
+    nodes = None
     seen: set[Hashable] = set()
     for index, part in enumerate(parts):
         if not part:
@@ -35,12 +60,18 @@ def validate_parts(graph: nx.Graph, parts: Sequence[frozenset]) -> None:
                 f"parts overlap on vertices {sorted(overlap, key=repr)[:5]}"
             )
         seen |= set(part)
-        missing = set(part) - set(graph.nodes())
+        if nodes is None:
+            nodes = set(graph.nodes())
+        missing = set(part) - nodes
         if missing:
             raise InvalidPartitionError(
                 f"part {index} contains non-graph vertices {sorted(missing, key=repr)[:5]}"
             )
-        if not nx.is_connected(graph.subgraph(part)):
+        if view is not None:
+            connected = _part_connected_core(view, part)
+        else:
+            connected = nx.is_connected(graph.subgraph(part))
+        if not connected:
             raise InvalidPartitionError(f"part {index} is not connected (Definition 9)")
 
 

@@ -15,15 +15,26 @@ tracks are:
 The object stores everything needed to recompute these quantities from
 scratch, which the property-based tests use to confirm that every
 constructor's self-reported numbers are honest.
+
+The measurements run on flat arrays over the graph's shared
+:class:`~repro.core.GraphView`: congestion is a bulk counter update and the
+block parameter a union-find over vertex indices, instead of one
+``nx.Graph``-plus-``connected_components`` construction per part.  The
+original per-part ``networkx`` recomputation is preserved as
+:meth:`Shortcut.measure_reference` (and :meth:`block_components`, which
+still returns the actual component sets); the differential tests pin the
+fast path against it on every graph family.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Sequence
 
 import networkx as nx
 
+from ..core import core_enabled, view_of
 from ..errors import InvalidShortcutError
 from ..structure.spanning import RootedTree
 from ..utils import canonical_edge
@@ -64,6 +75,51 @@ class ShortcutQuality:
         }
 
 
+class _EpochUnionFind:
+    """Union-find over ``0 .. n-1`` with O(1) epoch-stamped reuse.
+
+    ``reset()`` bumps the epoch instead of reinitialising the parent array,
+    so measuring many parts over one graph costs flat arrays once, not once
+    per part.  A vertex whose stamp is stale is implicitly its own root.
+    """
+
+    __slots__ = ("parent", "stamp", "epoch")
+
+    def __init__(self, size: int) -> None:
+        self.parent = list(range(size))
+        self.stamp = [0] * size
+        self.epoch = 0
+
+    def reset(self) -> None:
+        self.epoch += 1
+
+    def _activate(self, item: int) -> None:
+        if self.stamp[item] != self.epoch:
+            self.stamp[item] = self.epoch
+            self.parent[item] = item
+
+    def find(self, item: int) -> int:
+        # A stale vertex is implicitly a singleton; fresh vertices only ever
+        # point at fresh vertices (parents are assigned between activated
+        # nodes), so the chase below stays within the current epoch.
+        if self.stamp[item] != self.epoch:
+            return item
+        parent = self.parent
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        self._activate(a)
+        self._activate(b)
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
 class Shortcut:
     """A (possibly tree-restricted) shortcut for a family of parts.
 
@@ -90,9 +146,38 @@ class Shortcut:
         self.graph = graph
         self.tree = tree
         self.parts: list[frozenset] = [frozenset(part) for part in parts]
-        self.edge_sets: list[frozenset[Edge]] = [
-            frozenset(canonical_edge(u, v) for u, v in edges) for edges in edge_sets
-        ]
+        # Canonicalisation is hoisted out of the per-edge loop: endpoint reprs
+        # are memoised across all parts (shortcut edge sets overlap heavily on
+        # tree edges), and empty edge sets skip the loop entirely.
+        reprs: dict[Hashable, str] = {}
+        _get = reprs.get
+        _EMPTY: frozenset[Edge] = frozenset()
+        # Identity memo: constructors that give several parts the same edge-set
+        # object (whole-tree, shared per-cell sets) keep that sharing through
+        # canonicalisation, which the measurement dedup exploits.  The inputs
+        # stay alive in ``edge_sets`` for the duration, so ids are stable.
+        canon_cache: dict[int, frozenset[Edge]] = {}
+
+        def canonicalise(edges: Iterable[Edge]) -> frozenset[Edge]:
+            if not edges:
+                return _EMPTY
+            cached = canon_cache.get(id(edges))
+            if cached is not None:
+                return cached
+            out = set()
+            for u, v in edges:
+                ru = _get(u)
+                if ru is None:
+                    ru = reprs[u] = repr(u)
+                rv = _get(v)
+                if rv is None:
+                    rv = reprs[v] = repr(v)
+                out.add((u, v) if ru <= rv else (v, u))
+            result = frozenset(out)
+            canon_cache[id(edges)] = result
+            return result
+
+        self.edge_sets: list[frozenset[Edge]] = [canonicalise(edges) for edges in edge_sets]
         self.constructor = constructor
         self._tree_edges = tree.edge_set()
         self._tree_diameter: int | None = None
@@ -110,16 +195,43 @@ class Shortcut:
 
     def edge_congestion(self) -> dict[Edge, int]:
         """Return the per-edge congestion map ``c_e`` of Definition 11."""
-        congestion: dict[Edge, int] = {}
+        congestion: Counter = Counter()
         for edges in self.edge_sets:
-            for edge in edges:
-                congestion[edge] = congestion.get(edge, 0) + 1
-        return congestion
+            congestion.update(edges)
+        return dict(congestion)
 
     def congestion(self) -> int:
         """Return the congestion (Definition 11): max parts sharing one edge."""
-        congestion = self.edge_congestion()
+        if not core_enabled():
+            counts: dict[Edge, int] = {}
+            for edges in self.edge_sets:
+                for edge in edges:
+                    counts[edge] = counts.get(edge, 0) + 1
+            return max(counts.values(), default=0)
+        congestion: Counter = Counter()
+        for edges, multiplicity in self._edge_set_multiplicities():
+            if multiplicity == 1:
+                congestion.update(edges)
+            else:
+                for edge in edges:
+                    congestion[edge] += multiplicity
         return max(congestion.values(), default=0)
+
+    def _edge_set_multiplicities(self) -> list[tuple[frozenset[Edge], int]]:
+        """Group the per-part edge sets by object identity.
+
+        Constructors that hand several parts the same frozenset (the
+        whole-tree baseline, per-cell sharing) are measured once per distinct
+        set instead of once per part; distinct objects keep multiplicity 1.
+        """
+        grouped: dict[int, list] = {}
+        for edges in self.edge_sets:
+            entry = grouped.get(id(edges))
+            if entry is None:
+                grouped[id(edges)] = [edges, 1]
+            else:
+                entry[1] += 1
+        return [(edges, count) for edges, count in grouped.values()]
 
     def block_components(self, index: int) -> list[set[Hashable]]:
         """Return the block components of part ``index`` (Definition 12).
@@ -141,7 +253,47 @@ class Shortcut:
         return components
 
     def block_parameter(self) -> int:
-        """Return the block parameter (Definition 12): max blocks of any part."""
+        """Return the block parameter (Definition 12): max blocks of any part.
+
+        Flat union-find over vertex indices of the graph's shared
+        :class:`~repro.core.GraphView`: a part with edge set ``H_i`` has
+        exactly ``|{find(v) : v in P_i}|`` block components (untouched part
+        vertices are their own roots, i.e. singleton blocks), so no spanning
+        subgraph is ever materialised.  Parts with empty ``H_i`` short-circuit
+        to ``|P_i|``.
+        """
+        if not core_enabled():
+            return self.block_parameter_reference()
+        worst = 0
+        union_find: _EpochUnionFind | None = None
+        # Parts sharing one edge-set object (by identity) share one union-find
+        # build; only the per-part root count differs.
+        parts_by_set: dict[int, list[frozenset]] = {}
+        set_for_id: dict[int, frozenset[Edge]] = {}
+        for part, edges in zip(self.parts, self.edge_sets):
+            parts_by_set.setdefault(id(edges), []).append(part)
+            set_for_id[id(edges)] = edges
+        for set_id, grouped_parts in parts_by_set.items():
+            edges = set_for_id[set_id]
+            if not edges:
+                worst = max(worst, max(len(part) for part in grouped_parts))
+                continue
+            if union_find is None:
+                view = view_of(self.graph)
+                union_find = _EpochUnionFind(len(view))
+                index_of = view.index_of
+            union_find.reset()
+            union = union_find.union
+            for u, v in edges:
+                union(index_of(u), index_of(v))
+            find = union_find.find
+            for part in grouped_parts:
+                roots = {find(index_of(v)) for v in part}
+                worst = max(worst, len(roots))
+        return worst
+
+    def block_parameter_reference(self) -> int:
+        """The pre-CoreGraph block parameter (per-part nx components)."""
         return max(
             (len(self.block_components(i)) for i in range(self.num_parts)), default=0
         )
@@ -156,6 +308,34 @@ class Shortcut:
         d = self.tree_diameter()
         block = self.block_parameter()
         congestion = self.congestion()
+        return ShortcutQuality(
+            congestion=congestion,
+            block=block,
+            tree_diameter=d,
+            quality=block * d + congestion,
+            num_parts=self.num_parts,
+            total_shortcut_edges=sum(len(edges) for edges in self.edge_sets),
+        )
+
+    def measure_reference(self) -> ShortcutQuality:
+        """The pre-CoreGraph measurement path, kept as a differential oracle.
+
+        Re-measures congestion with a per-edge dict walk, the block parameter
+        with one ``nx.Graph`` + ``connected_components`` per part, and the
+        tree diameter through an ``nx`` double BFS -- exactly the seed
+        implementation.  ``benchmarks/bench_core_speedup.py`` uses this as
+        the baseline for the >=2x gate, and the differential tests assert
+        ``measure() == measure_reference()`` on every family.
+        """
+        congestion_map: dict[Edge, int] = {}
+        for edges in self.edge_sets:
+            for edge in edges:
+                congestion_map[edge] = congestion_map.get(edge, 0) + 1
+        congestion = max(congestion_map.values(), default=0)
+        block = self.block_parameter_reference()
+        # Same memoised tree diameter as measure(): the pre-refactor code
+        # cached it too, so it is deliberately not part of the comparison.
+        d = self.tree_diameter()
         return ShortcutQuality(
             congestion=congestion,
             block=block,

@@ -31,6 +31,38 @@ from ..errors import InvalidDecompositionError
 from ..graphs.clique_sum import CliqueSumDecomposition
 
 
+def _indexed_tree(tree: nx.Graph) -> tuple[list[Hashable], dict[Hashable, int], list[list[int]]]:
+    """Map the tree onto ``0 .. n-1`` with flat per-node adjacency lists.
+
+    Node indices follow ``tree.nodes()`` iteration order and each adjacency
+    list follows ``tree.neighbors()`` iteration order, so traversals over the
+    arrays visit nodes in exactly the order the old dict-of-dict walks did.
+    """
+    labels = list(tree.nodes())
+    index = {label: i for i, label in enumerate(labels)}
+    adjacency = [[index[v] for v in tree.adj[u]] for u in labels]
+    return labels, index, adjacency
+
+
+def _dfs_parent_order(adjacency: list[list[int]], root: int) -> tuple[list[int], list[int]]:
+    """Iterative DFS over flat adjacency; returns ``(parents, preorder)``.
+
+    ``parents[v]`` is ``-1`` for the root and ``-2`` for unreached vertices.
+    """
+    parents = [-2] * len(adjacency)
+    parents[root] = -1
+    order = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        order.append(node)
+        for neighbour in adjacency[node]:
+            if parents[neighbour] == -2:
+                parents[neighbour] = node
+                stack.append(neighbour)
+    return parents, order
+
+
 def heavy_light_chains(tree: nx.Graph, root: Hashable) -> list[list[Hashable]]:
     """Split a rooted tree into heavy chains (Harel--Tarjan heavy-light paths).
 
@@ -39,44 +71,40 @@ def heavy_light_chains(tree: nx.Graph, root: Hashable) -> list[list[Hashable]]:
     intersects at most ``log2(n) + 1`` chains, the property the folding step
     relies on.  The returned chains are ordered root-to-leaf and partition
     the vertex set.
+
+    The subtree-size bookkeeping runs on flat int arrays over an indexed copy
+    of the tree (one conversion, no per-step dict-of-dict lookups); labels
+    only resurface for the deterministic ``repr`` tie-break and the output.
     """
     if tree.number_of_nodes() == 0:
         return []
     if root not in tree:
         raise InvalidDecompositionError(f"root {root} is not a node of the tree")
-    # Iterative DFS to compute subtree sizes (avoids recursion limits).
-    parent: dict[Hashable, Hashable | None] = {root: None}
-    order: list[Hashable] = []
-    stack = [root]
-    while stack:
-        node = stack.pop()
-        order.append(node)
-        for neighbour in tree.neighbors(node):
-            if neighbour not in parent:
-                parent[neighbour] = node
-                stack.append(neighbour)
-    size = {node: 1 for node in parent}
+    labels, index, adjacency = _indexed_tree(tree)
+    parents, order = _dfs_parent_order(adjacency, index[root])
+    size = [1] * len(labels)
     for node in reversed(order):
-        if parent[node] is not None:
-            size[parent[node]] += size[node]
+        if parents[node] >= 0:
+            size[parents[node]] += size[node]
 
-    heavy_child: dict[Hashable, Hashable | None] = {}
-    for node in parent:
-        children = [c for c in tree.neighbors(node) if parent.get(c) == node]
-        heavy_child[node] = max(children, key=lambda c: (size[c], repr(c))) if children else None
+    heavy_child = [-1] * len(labels)
+    for node in order:
+        children = [c for c in adjacency[node] if parents[c] == node]
+        if children:
+            heavy_child[node] = max(children, key=lambda c: (size[c], repr(labels[c])))
 
     chains: list[list[Hashable]] = []
-    chain_of: set[Hashable] = set()
+    in_chain = [False] * len(labels)
     for node in order:  # root first, so chain heads are discovered top-down
-        if node in chain_of:
+        if in_chain[node]:
             continue
-        chain = [node]
-        chain_of.add(node)
+        chain = [labels[node]]
+        in_chain[node] = True
         current = node
-        while heavy_child[current] is not None:
+        while heavy_child[current] >= 0:
             current = heavy_child[current]
-            chain.append(current)
-            chain_of.add(current)
+            chain.append(labels[current])
+            in_chain[current] = True
         chains.append(chain)
     return chains
 
@@ -202,15 +230,15 @@ def fold_decomposition_tree(
     root_bag = root_bag if root_bag is not None else min(tree.nodes())
     chains = heavy_light_chains(tree, root_bag)
 
-    # Parent map of the original (rooted) decomposition tree.
-    parent: dict[int, int | None] = {root_bag: None}
-    stack = [root_bag]
-    while stack:
-        node = stack.pop()
-        for neighbour in tree.neighbors(node):
-            if neighbour not in parent:
-                parent[neighbour] = node
-                stack.append(neighbour)
+    # Parent map of the original (rooted) decomposition tree, via the same
+    # indexed DFS the chain computation used.
+    labels, index, adjacency = _indexed_tree(tree)
+    parent_indices, _order = _dfs_parent_order(adjacency, index[root_bag])
+    parent: dict[int, int | None] = {
+        label: (None if parent_indices[i] < 0 else labels[parent_indices[i]])
+        for i, label in enumerate(labels)
+        if parent_indices[i] != -2
+    }
 
     folded = nx.Graph()
     groups: dict[int, tuple[int, ...]] = {}

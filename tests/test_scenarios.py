@@ -237,3 +237,36 @@ def test_cli_tiny_sweep_writes_json(tmp_path):
     records = json.loads(output.read_text())
     assert {record["family"] for record in records} == {"planar", "treewidth"}
     assert all(record["applicable"] for record in records)
+
+
+def test_parallel_matrix_matches_serial():
+    """--jobs N: process-pool sweep, record-for-record identical and ordered."""
+    cache = InstanceCache()
+    scenarios = scenario_matrix(
+        families=["planar", "lower_bound"], size="tiny", cache=cache
+    )
+    serial = run_matrix(scenarios, cache=cache)
+    parallel = run_matrix(scenarios, jobs=2)
+    assert parallel == serial
+
+
+def test_cli_algorithms_and_jobs(tmp_path):
+    output = tmp_path / "records.json"
+    code = scenarios_main([
+        "--families", "planar",
+        "--constructors", "empty", "steiner",
+        "--algorithms", "quality", "mst",
+        "--size", "tiny", "--jobs", "2", "--output", str(output),
+    ])
+    assert code == 0
+    records = json.loads(output.read_text())
+    assert [record["scenario"] for record in records] == [
+        "planar/empty/quality", "planar/steiner/quality",
+        "planar/empty/mst", "planar/steiner/mst",
+    ]
+
+
+def test_cli_rejects_empty_family_filter(capsys):
+    with pytest.raises(SystemExit):
+        scenarios_main(["--families"])
+    assert "expected at least one argument" in capsys.readouterr().err
