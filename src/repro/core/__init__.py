@@ -1,16 +1,21 @@
 """``repro.core``: the CSR-backed graph kernel under the whole reproduction.
 
-Two classes and one cache:
+Three classes and two caches:
 
 * :class:`CoreGraph` -- immutable int-indexed CSR adjacency (flat
   ``indptr`` / ``indices`` / ``weights`` arrays) with BFS, eccentricity,
   diameter and connectivity primitives;
 * :class:`GraphView` -- the label <-> index adapter that converts an
   ``nx.Graph`` once at the construction boundary and can round-trip back;
-* :func:`view_of` -- the per-graph memoised conversion every layer shares.
+* :class:`PartSet` -- the int-indexed view of a part/cell family (flat
+  member/offset arrays, owner array, CSR connectivity, per-part sorted
+  Euler-tour ``tin`` views);
+* :func:`view_of` / :func:`part_set_of` -- the memoised conversions every
+  layer shares (one per graph, one per (view, part family)).
 
 The traversal layer (``repro.structure``), the quality measurements
-(``repro.shortcuts.shortcut``) and the CONGEST simulator
+(``repro.shortcuts.shortcut``), the shortcut construction engine
+(``repro.shortcuts.engine``) and the CONGEST simulator
 (``repro.congest.simulator``) all accept a :class:`GraphView` and run on
 the CSR arrays; ``networkx`` remains the generator/witness frontend.
 """
@@ -18,6 +23,7 @@ the CSR arrays; ``networkx`` remains the generator/witness frontend.
 from contextlib import contextmanager
 
 from .graph import CoreGraph
+from .partset import PartSet, part_connected, part_set_of
 from .view import GraphView, view_of
 
 _CORE_ENABLED = True
@@ -53,7 +59,10 @@ def networkx_reference_paths():
 __all__ = [
     "CoreGraph",
     "GraphView",
+    "PartSet",
     "core_enabled",
     "networkx_reference_paths",
+    "part_connected",
+    "part_set_of",
     "view_of",
 ]

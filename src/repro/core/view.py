@@ -44,7 +44,15 @@ class GraphView:
             the package's canonical node order.
     """
 
-    __slots__ = ("graph", "core", "nodes", "_index", "_has_weights", "__weakref__")
+    __slots__ = (
+        "graph",
+        "core",
+        "nodes",
+        "_index",
+        "_has_weights",
+        "_part_sets",
+        "__weakref__",
+    )
 
     def __init__(self, graph: nx.Graph, sort_neighbours: bool = True) -> None:
         labels = sorted(graph.nodes(), key=repr)
@@ -66,6 +74,12 @@ class GraphView:
         self.nodes = labels
         self._index = index
         self._has_weights = has_weights
+        # Per-view memo of int-indexed part families, managed by
+        # repro.core.partset.part_set_of.  Living on the view (rather than in
+        # a global cache keyed by it) ties each PartSet's lifetime to its
+        # view's: a cache entry referencing the view would keep a weakly-keyed
+        # view alive forever.
+        self._part_sets: dict = {}
         self.core = CoreGraph(len(labels), edges, sort_neighbours=sort_neighbours)
 
     # -- the bijection -----------------------------------------------------

@@ -14,7 +14,7 @@ from typing import Hashable, Mapping
 
 import networkx as nx
 
-from ..core import GraphView, core_enabled, view_of
+from ..core import GraphView, PartSet, core_enabled, part_set_of, view_of
 from ..errors import InvalidGraphError
 from ..graphs.weights import assign_random_weights
 from ..shortcuts.parts import path_parts, singleton_parts, tree_fragment_parts
@@ -103,6 +103,17 @@ class ScenarioInstance:
             else:
                 self._parts[key] = singleton_parts(self.graph)
         return self._parts[key]
+
+    def part_set(self, kind: str = "tree_fragments", **kwargs) -> PartSet:
+        """Return the int-indexed :class:`~repro.core.PartSet` of a part family.
+
+        Memoised next to the shared :class:`~repro.core.GraphView` (through
+        the package-wide :func:`repro.core.part_set_of` memo over the cached
+        label parts), so the shortcut construction engine, quality
+        measurement and validation all share one label-to-index conversion
+        of the family per instance.
+        """
+        return part_set_of(self.view, self.parts(kind, **kwargs))
 
     def weighted_graph(
         self, seed: int, integer: bool = True, low: float = 1.0, high: float = 100.0

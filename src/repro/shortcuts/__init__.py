@@ -10,6 +10,8 @@ structure:
   Steiner-tree) used as baselines
 * :mod:`repro.shortcuts.congestion_capped` -- the structure-oblivious constructor in
   the spirit of HIZ16a that the distributed algorithm itself would run
+* :mod:`repro.shortcuts.engine`       -- the array-native construction engine behind
+  it (Euler-tour benefits, shared Steiner edge ids, incremental budget sweep)
 * :mod:`repro.shortcuts.planar`       -- Theorem 4 (planar graphs)
 * :mod:`repro.shortcuts.treewidth`    -- Theorem 5 (bounded treewidth)
 * :mod:`repro.shortcuts.genus_vortex` -- Theorem 9 / Corollary 3 (Genus+Vortex)
@@ -29,7 +31,12 @@ from .parts import (
 )
 from .shortcut import Shortcut, ShortcutQuality
 from .baseline import empty_shortcut, steiner_shortcut, whole_tree_shortcut
-from .congestion_capped import congestion_capped_shortcut, oblivious_shortcut
+from .congestion_capped import (
+    congestion_capped_shortcut,
+    default_budget_schedule,
+    oblivious_shortcut,
+)
+from .engine import ConstructionEngine
 from .planar import planar_shortcut
 from .treewidth import treewidth_shortcut
 from .genus_vortex import genus_vortex_shortcut
@@ -39,6 +46,7 @@ from .minor_free import minor_free_shortcut
 from .search import best_shortcut, measure_constructors
 
 __all__ = [
+    "ConstructionEngine",
     "Shortcut",
     "ShortcutQuality",
     "apex_shortcut",
@@ -46,6 +54,7 @@ __all__ = [
     "boruvka_parts",
     "clique_sum_shortcut",
     "congestion_capped_shortcut",
+    "default_budget_schedule",
     "empty_shortcut",
     "genus_vortex_shortcut",
     "measure_constructors",

@@ -18,6 +18,13 @@ This module implements that oblivious constructor:
 * :func:`oblivious_shortcut` performs the doubling search over the budget and
   returns the best-quality result, which is the constructor the distributed
   algorithms in :mod:`repro.algorithms` use by default.
+
+Both run on the array-native :class:`~repro.shortcuts.engine.ConstructionEngine`
+(Euler-tour benefits, Steiner edge ids computed once per sweep, incremental
+per-budget quality) unless the ``networkx`` reference paths are forced via
+:func:`repro.core.networkx_reference_paths`, in which case the preserved
+seed implementation runs -- the differential tests pin the two paths
+edge-set-for-edge-set equal on every graph family.
 """
 
 from __future__ import annotations
@@ -26,10 +33,19 @@ from typing import Hashable, Sequence
 
 import networkx as nx
 
+from ..core import core_enabled, view_of
 from ..structure.spanning import RootedTree, bfs_spanning_tree
 from ..utils import canonical_edge
+from .engine import ConstructionEngine
 from .parts import validate_parts
 from .shortcut import Shortcut
+
+
+def _spanning_tree(graph: nx.Graph) -> RootedTree:
+    """Default spanning tree; CSR BFS when the fast paths are active."""
+    if core_enabled():
+        return bfs_spanning_tree(view_of(graph))
+    return bfs_spanning_tree(graph)
 
 
 def _edge_benefit(
@@ -41,6 +57,10 @@ def _edge_benefit(
     with the smallest "behind the edge" population severs the fewest part
     vertices from the rest of the Steiner tree, which keeps the number of
     extra blocks small.
+
+    This is the preserved reference benefit (one O(n) subtree set per edge);
+    the fast engine computes the same numbers in one Euler-tour accumulation
+    pass per part.
     """
     benefit: dict[tuple, int] = {}
     for u, v in steiner_edges:
@@ -50,26 +70,13 @@ def _edge_benefit(
     return benefit
 
 
-def congestion_capped_shortcut(
+def _congestion_capped_reference(
     graph: nx.Graph,
-    tree: RootedTree | None = None,
-    parts: Sequence[frozenset] = (),
-    congestion_budget: int = 8,
+    tree: RootedTree,
+    parts: Sequence[frozenset],
+    congestion_budget: int,
 ) -> Shortcut:
-    """Prune the Steiner-tree shortcut to respect a congestion budget.
-
-    Every part starts with its full Steiner tree in ``T``.  For every tree
-    edge requested by more than ``congestion_budget`` parts, only the
-    ``congestion_budget`` parts with the largest benefit (number of their
-    vertices behind the edge) keep it; the others lose the edge, which may
-    split their shortcut into more blocks.  The result is always a valid
-    T-restricted shortcut with congestion at most ``congestion_budget``.
-    """
-    tree = tree if tree is not None else bfs_spanning_tree(graph)
-    validate_parts(graph, parts)
-    if congestion_budget < 0:
-        congestion_budget = 0
-
+    """The preserved seed implementation (label-keyed networkx sets)."""
     steiner: list[frozenset] = [frozenset(tree.steiner_tree_edges(part)) for part in parts]
     requests: dict[tuple, list[int]] = {}
     for index, edges in enumerate(steiner):
@@ -97,6 +104,53 @@ def congestion_capped_shortcut(
     )
 
 
+def congestion_capped_shortcut(
+    graph: nx.Graph,
+    tree: RootedTree | None = None,
+    parts: Sequence[frozenset] = (),
+    congestion_budget: int = 8,
+    validate: bool = True,
+) -> Shortcut:
+    """Prune the Steiner-tree shortcut to respect a congestion budget.
+
+    Every part starts with its full Steiner tree in ``T``.  For every tree
+    edge requested by more than ``congestion_budget`` parts, only the
+    ``congestion_budget`` parts with the largest benefit (number of their
+    vertices behind the edge) keep it; the others lose the edge, which may
+    split their shortcut into more blocks.  The result is always a valid
+    T-restricted shortcut with congestion at most ``congestion_budget``.
+
+    ``validate=False`` skips the Definition 9 part validation; callers that
+    already validated the same parts (the :func:`oblivious_shortcut` sweep
+    validates once instead of once per budget) opt out.
+    """
+    tree = tree if tree is not None else _spanning_tree(graph)
+    if validate:
+        validate_parts(graph, parts)
+    if congestion_budget < 0:
+        congestion_budget = 0
+    if core_enabled():
+        return ConstructionEngine(graph, tree, parts).build_shortcut(congestion_budget)
+    return _congestion_capped_reference(graph, tree, parts, congestion_budget)
+
+
+def default_budget_schedule(num_parts: int) -> list[int]:
+    """The doubling budget schedule: powers of two up to the number of parts.
+
+    The doubling stops strictly below ``num_parts``, so appending the final
+    budget (``num_parts``, beyond which the Steiner shortcut is returned
+    unpruned) never prices a budget twice -- the schedule is strictly
+    increasing by construction.
+    """
+    budgets: list[int] = []
+    budget = 1
+    while budget < num_parts:
+        budgets.append(budget)
+        budget *= 2
+    budgets.append(num_parts)
+    return budgets
+
+
 def oblivious_shortcut(
     graph: nx.Graph,
     tree: RootedTree | None = None,
@@ -111,27 +165,43 @@ def oblivious_shortcut(
     keeps the best.  The searched budgets default to powers of two up to the
     number of parts (beyond which the Steiner shortcut is returned
     unpruned).
+
+    Parts are validated once for the whole sweep, and on the fast path the
+    engine prices every budget incrementally from the previous one (keep
+    sets only grow with the budget) instead of building and measuring a
+    fresh candidate per budget.  The returned shortcut records the winning
+    budget in ``chosen_budget``.
     """
-    tree = tree if tree is not None else bfs_spanning_tree(graph)
+    tree = tree if tree is not None else _spanning_tree(graph)
     validate_parts(graph, parts)
     if not parts:
         return Shortcut(graph=graph, tree=tree, parts=[], edge_sets=[], constructor="oblivious")
     if budgets is None:
-        budgets = []
-        budget = 1
-        while budget < len(parts):
-            budgets.append(budget)
-            budget *= 2
-        budgets.append(len(parts))
-    best: Shortcut | None = None
-    best_quality = None
-    for budget in budgets:
-        candidate = congestion_capped_shortcut(
-            graph, tree, parts, congestion_budget=budget
-        )
-        quality = candidate.quality()
-        if best_quality is None or quality < best_quality:
-            best, best_quality = candidate, quality
-    assert best is not None
+        budgets = default_budget_schedule(len(parts))
+
+    if core_enabled():
+        engine = ConstructionEngine(graph, tree, parts)
+        qualities = engine.quality_sweep(budgets)
+        best_budget: int | None = None
+        best_quality: int | None = None
+        for budget in budgets:
+            quality = qualities[max(0, int(budget))]
+            if best_quality is None or quality < best_quality:
+                best_budget, best_quality = budget, quality
+        assert best_budget is not None
+        best = engine.build_shortcut(best_budget)
+    else:
+        best = None
+        best_budget = None
+        best_quality = None
+        for budget in budgets:
+            candidate = congestion_capped_shortcut(
+                graph, tree, parts, congestion_budget=budget, validate=False
+            )
+            quality = candidate.quality()
+            if best_quality is None or quality < best_quality:
+                best, best_budget, best_quality = candidate, budget, quality
+        assert best is not None
     best.constructor = "oblivious"
+    best.chosen_budget = best_budget
     return best

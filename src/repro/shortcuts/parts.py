@@ -17,38 +17,27 @@ from typing import Hashable, Sequence
 
 import networkx as nx
 
-from ..core import core_enabled, view_of
+from ..core import core_enabled, part_connected, part_set_of, view_of
 from ..errors import InvalidPartitionError
 from ..graphs.weights import WEIGHT
 from ..structure.spanning import RootedTree, bfs_spanning_tree
 from ..utils import ensure_rng
 
 
-def _part_connected_core(view, part: frozenset) -> bool:
-    """Connectivity of ``graph[part]`` via a CSR BFS restricted to the part."""
-    index_of = view.index_of
-    members = {index_of(node) for node in part}
-    neighbors = view.core.neighbors
-    start = next(iter(members))
-    reached = {start}
-    stack = [start]
-    while stack:
-        for v in neighbors(stack.pop()):
-            if v in members and v not in reached:
-                reached.add(v)
-                stack.append(v)
-    return len(reached) == len(members)
-
-
 def validate_parts(graph: nx.Graph, parts: Sequence[frozenset]) -> None:
     """Check Definition 9: parts are disjoint, non-empty and connected in ``graph``.
 
-    Connectivity runs on the graph's shared :class:`~repro.core.GraphView`
-    (one subgraph-free BFS per part) unless the networkx reference paths are
-    forced, in which case the original per-part ``subgraph`` +
-    ``is_connected`` check is used.
+    Connectivity runs on the memoised int-indexed
+    :class:`~repro.core.PartSet` of the family (one flat-array BFS per part,
+    no per-part label sets) unless the networkx reference paths are forced,
+    in which case the original per-part ``subgraph`` + ``is_connected``
+    check is used.  Both modes report the same first violation: if the
+    family-wide part set cannot be built because a later part has
+    non-graph vertices, the core path falls back to per-part BFS so the
+    per-part check order is preserved.
     """
-    view = view_of(graph) if core_enabled() else None
+    part_set = None
+    part_set_failed = False
     nodes = None
     seen: set[Hashable] = set()
     for index, part in enumerate(parts):
@@ -67,8 +56,16 @@ def validate_parts(graph: nx.Graph, parts: Sequence[frozenset]) -> None:
             raise InvalidPartitionError(
                 f"part {index} contains non-graph vertices {sorted(missing, key=repr)[:5]}"
             )
-        if view is not None:
-            connected = _part_connected_core(view, part)
+        if core_enabled():
+            if part_set is None and not part_set_failed:
+                try:
+                    part_set = part_set_of(view_of(graph), parts)
+                except InvalidPartitionError:
+                    part_set_failed = True
+            if part_set is not None:
+                connected = part_set.connected(index)
+            else:
+                connected = part_connected(view_of(graph), part)
         else:
             connected = nx.is_connected(graph.subgraph(part))
         if not connected:

@@ -34,7 +34,7 @@ from typing import Hashable, Iterable, Sequence
 
 import networkx as nx
 
-from ..core import core_enabled, view_of
+from ..core import core_enabled, part_set_of, view_of
 from ..errors import InvalidShortcutError
 from ..structure.spanning import RootedTree
 from ..utils import canonical_edge
@@ -179,6 +179,9 @@ class Shortcut:
 
         self.edge_sets: list[frozenset[Edge]] = [canonicalise(edges) for edges in edge_sets]
         self.constructor = constructor
+        # Set by the budget-searching constructors (oblivious_shortcut) to the
+        # congestion budget that won the sweep; None for direct constructions.
+        self.chosen_budget: int | None = None
         self._tree_edges = tree.edge_set()
         self._tree_diameter: int | None = None
 
@@ -266,20 +269,25 @@ class Shortcut:
             return self.block_parameter_reference()
         worst = 0
         union_find: _EpochUnionFind | None = None
+        part_set = None
         # Parts sharing one edge-set object (by identity) share one union-find
         # build; only the per-part root count differs.
-        parts_by_set: dict[int, list[frozenset]] = {}
+        parts_by_set: dict[int, list[int]] = {}
         set_for_id: dict[int, frozenset[Edge]] = {}
-        for part, edges in zip(self.parts, self.edge_sets):
-            parts_by_set.setdefault(id(edges), []).append(part)
+        for index, edges in enumerate(self.edge_sets):
+            parts_by_set.setdefault(id(edges), []).append(index)
             set_for_id[id(edges)] = edges
-        for set_id, grouped_parts in parts_by_set.items():
+        for set_id, part_indices in parts_by_set.items():
             edges = set_for_id[set_id]
             if not edges:
-                worst = max(worst, max(len(part) for part in grouped_parts))
+                worst = max(worst, max(len(self.parts[i]) for i in part_indices))
                 continue
             if union_find is None:
                 view = view_of(self.graph)
+                # The int-indexed member arrays are memoised per (view, parts),
+                # so every candidate shortcut in a sweep over the same part
+                # family shares one label-to-index conversion.
+                part_set = part_set_of(view, self.parts)
                 union_find = _EpochUnionFind(len(view))
                 index_of = view.index_of
             union_find.reset()
@@ -287,8 +295,8 @@ class Shortcut:
             for u, v in edges:
                 union(index_of(u), index_of(v))
             find = union_find.find
-            for part in grouped_parts:
-                roots = {find(index_of(v)) for v in part}
+            for part_index in part_indices:
+                roots = {find(member) for member in part_set.members_of(part_index)}
                 worst = max(worst, len(roots))
         return worst
 

@@ -15,6 +15,7 @@ from typing import Hashable, Iterable, Sequence
 
 import networkx as nx
 
+from ..core import PartSet, core_enabled, part_connected, part_set_of, view_of
 from ..errors import InvalidPartitionError
 from .spanning import RootedTree
 
@@ -58,6 +59,16 @@ class CellPartition:
                 mapping[vertex] = index
         return mapping
 
+    def part_set(self, graph: nx.Graph) -> PartSet:
+        """Return the memoised int-indexed :class:`~repro.core.PartSet` of the cells.
+
+        Cells are a part family in the Definition 9 sense (disjoint,
+        connected vertex sets), so the gate validation and the cell-aware
+        hot paths share the same flat member/owner arrays the shortcut
+        engine uses for parts.
+        """
+        return part_set_of(view_of(graph), self.cells)
+
     def covered_vertices(self) -> frozenset:
         covered: set[Hashable] = set()
         for cell in self.cells:
@@ -70,7 +81,16 @@ class CellPartition:
         ``require_cover=True`` additionally demands that every vertex of
         ``graph`` lies in some cell; the apex construction does *not* require
         this (the apices themselves are never in a cell).
+
+        Connectivity runs on the cells' shared :class:`~repro.core.PartSet`
+        (one flat-array BFS per cell) unless the networkx reference paths
+        are forced.  Both modes report the same first violation: if the
+        family-wide part set cannot be built because a later cell has
+        non-graph vertices, the core path falls back to per-cell BFS so the
+        per-cell check order is preserved.
         """
+        part_set = None
+        part_set_failed = False
         seen: set[Hashable] = set()
         for index, cell in enumerate(self.cells):
             if not cell:
@@ -86,7 +106,19 @@ class CellPartition:
                 raise InvalidPartitionError(
                     f"cell {index} contains non-graph vertices {sorted(missing, key=repr)[:5]}"
                 )
-            if not nx.is_connected(graph.subgraph(cell)):
+            if core_enabled():
+                if part_set is None and not part_set_failed:
+                    try:
+                        part_set = self.part_set(graph)
+                    except InvalidPartitionError:
+                        part_set_failed = True
+                if part_set is not None:
+                    connected = part_set.connected(index)
+                else:
+                    connected = part_connected(view_of(graph), cell)
+            else:
+                connected = nx.is_connected(graph.subgraph(cell))
+            if not connected:
                 raise InvalidPartitionError(f"cell {index} is not connected in the graph")
         if require_cover and seen != set(graph.nodes()):
             raise InvalidPartitionError("cells do not cover the vertex set")

@@ -33,6 +33,7 @@ from typing import Hashable, Sequence
 
 import networkx as nx
 
+from ..core import core_enabled, view_of
 from ..errors import InvalidPartitionError
 from .cells import CellPartition
 from .spanning import bfs_spanning_tree
@@ -72,7 +73,15 @@ def validate_gates(graph: nx.Graph, collection: GateCollection) -> float:
 
     Raises :class:`InvalidPartitionError` on any violation.  Property (6) is
     not a yes/no property (it defines ``s``), so it is returned as a number.
+
+    The properties run on int-indexed flat arrays (the cells'
+    :class:`~repro.core.PartSet` owner array, CSR adjacency slices and
+    per-vertex gate-id lists) unless the networkx reference paths are
+    forced, in which case the original label-keyed checks run; both modes
+    accept and reject exactly the same collections.
     """
+    if core_enabled():
+        return _validate_gates_core(graph, collection)
     partition = collection.partition
     cell_of = partition.cell_of()
 
@@ -115,6 +124,105 @@ def validate_gates(graph: nx.Graph, collection: GateCollection) -> float:
                     f"{index} (property 5)"
                 )
             owner[vertex] = index
+
+    return collection.measured_s()
+
+
+def _validate_gates_core(graph: nx.Graph, collection: GateCollection) -> float:
+    """The array-native Definition 17 checker (same verdicts as the nx path).
+
+    Gate membership becomes one epoch-stamped array, the cell lookup one
+    owner-array read and property 3 one pass over the CSR edges with
+    per-vertex gate-id lists -- the label path's ``any(... for gate in
+    collection.gates)`` per inter-cell edge made validation quadratic in
+    the gate count.
+    """
+    partition = collection.partition
+    view = view_of(graph)
+    index_of = view.index_of
+    node_of = view.nodes
+    core = view.core
+    n = len(view)
+    try:
+        owner = partition.part_set(graph).owner_array()
+    except InvalidPartitionError:
+        # A cell contains non-graph vertices.  The label path's cell_of()
+        # silently ignores such vertices (they can never meet a gate or an
+        # edge endpoint), so mirror that here rather than rejecting a
+        # collection the reference path accepts.
+        owner = [-1] * n
+        for cell_index, cell in enumerate(partition.cells):
+            for vertex in cell:
+                if vertex in view:
+                    owner[index_of(vertex)] = cell_index
+
+    gate_stamp = [0] * n
+    gate_indices: list[list[int]] = []
+    gates_at: list[list[int]] = [[] for _ in range(n)]
+    for index, gate_pair in enumerate(collection.gates):
+        members: list[int] = []
+        for vertex in gate_pair.gate:
+            try:
+                member = index_of(vertex)
+            except KeyError:
+                raise InvalidPartitionError(
+                    f"gate {index} contains non-graph vertex {vertex}"
+                ) from None
+            members.append(member)
+            gates_at[member].append(index)
+        gate_indices.append(members)
+
+    epoch = 0
+    for index, gate_pair in enumerate(collection.gates):
+        members = gate_indices[index]
+        epoch += 1
+        for member in members:
+            gate_stamp[member] = epoch
+        fence = gate_pair.fence
+        touched: set[int] = set()
+        for member in members:
+            start, end = core.neighbor_slice(member)
+            neighbours = core._indices_list[start:end]
+            # Property 2: the boundary of the gate is contained in the fence.
+            if any(gate_stamp[v] != epoch for v in neighbours):
+                if node_of[member] not in fence:
+                    raise InvalidPartitionError(
+                        f"gate {index}: boundary vertex {node_of[member]} is not in the "
+                        "fence (property 2)"
+                    )
+            if owner[member] >= 0:
+                touched.add(owner[member])
+        # Property 4: the gate intersects at most two cells.
+        if len(touched) > 2:
+            raise InvalidPartitionError(
+                f"gate {index} intersects {len(touched)} cells (property 4 allows 2)"
+            )
+
+    # Property 3: every inter-cell edge is covered by some gate.
+    for u, v, _weight in core.edges():
+        cu, cv = owner[u], owner[v]
+        if cu < 0 or cv < 0 or cu == cv:
+            continue
+        gates_u = gates_at[u]
+        if not gates_u or not any(index in gates_u for index in gates_at[v]):
+            raise InvalidPartitionError(
+                f"inter-cell edge ({node_of[u]}, {node_of[v]}) is covered by no gate "
+                "(property 3)"
+            )
+
+    # Property 5: non-fence gate vertices are globally disjoint.
+    non_fence_owner = [-1] * n
+    for index, gate_pair in enumerate(collection.gates):
+        fence = gate_pair.fence
+        for member in gate_indices[index]:
+            if node_of[member] in fence:
+                continue
+            if non_fence_owner[member] >= 0:
+                raise InvalidPartitionError(
+                    f"vertex {node_of[member]} is a non-fence member of gates "
+                    f"{non_fence_owner[member]} and {index} (property 5)"
+                )
+            non_fence_owner[member] = index
 
     return collection.measured_s()
 

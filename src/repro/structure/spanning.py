@@ -50,6 +50,7 @@ class RootedTree:
                     raise InvalidGraphError(f"parent {par} of {node} is not a tree node")
                 self.children[par].append(node)
         self._compute_depths()
+        self._euler: EulerTourIndex | None = None
 
     def _compute_depths(self) -> None:
         self.depth[self.root] = 0
@@ -179,6 +180,22 @@ class RootedTree:
 
     # -- derived structures ----------------------------------------------
 
+    def euler_index(self, view: GraphView) -> "EulerTourIndex":
+        """Return (and cache) the Euler-tour index of this tree over ``view``.
+
+        The index stores flat arrays over the view's vertex indices:
+        ``parent`` / ``depth``, the DFS pre-order ``order``, and the
+        ``tin`` / ``tout`` interval of every subtree, so that "is ``v`` in
+        the subtree below ``u``" is two integer comparisons and a part's
+        benefit at every tree edge is one accumulation pass (see
+        :mod:`repro.shortcuts.engine`).  Cached per view identity -- a
+        budget sweep builds it once.
+        """
+        cached = self._euler
+        if cached is None or cached.view is not view:
+            cached = self._euler = EulerTourIndex(self, view)
+        return cached
+
     def steiner_tree_edges(self, terminals: Iterable[Hashable]) -> set[Edge]:
         """Return the edges of the minimal subtree of T spanning ``terminals``.
 
@@ -306,6 +323,81 @@ class RootedTree:
             for u, v in tree_graph.edges():
                 if not graph.has_edge(u, v):
                     raise InvalidGraphError(f"tree edge ({u}, {v}) is not a graph edge")
+
+
+class EulerTourIndex:
+    """Flat-array Euler-tour (DFS interval) index of a :class:`RootedTree`.
+
+    All arrays are indexed by the :class:`GraphView` vertex index:
+
+    * ``parent[i]`` -- index of the tree parent (``-1`` for the root);
+    * ``depth[i]`` -- hop depth below the root;
+    * ``order`` -- the DFS pre-order as a list of indices;
+    * ``tin[i]`` -- pre-order position of ``i``;
+    * ``tout[i]`` -- the largest ``tin`` in the subtree below ``i``
+      (inclusive), so ``v`` lies in the subtree of ``u`` iff
+      ``tin[u] <= tin[v] <= tout[u]``.
+    """
+
+    __slots__ = ("view", "root", "parent", "depth", "order", "tin", "tout")
+
+    def __init__(self, tree: RootedTree, view: GraphView) -> None:
+        n = len(view)
+        if len(tree.parent) != n:
+            raise InvalidGraphError("tree does not span the graph view's vertex set")
+        index_of = view.index_of
+        parent = [-1] * n
+        depth = [0] * n
+        children: list[list[int]] = [[] for _ in range(n)]
+        try:
+            root = index_of(tree.root)
+            for node, par in tree.parent.items():
+                index = index_of(node)
+                depth[index] = tree.depth[node]
+                if par is not None:
+                    par_index = index_of(par)
+                    parent[index] = par_index
+                    children[par_index].append(index)
+        except KeyError as error:
+            raise InvalidGraphError(
+                f"tree node {error.args[0]!r} is not a vertex of the graph view"
+            ) from None
+        order: list[int] = []
+        tin = [0] * n
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            tin[node] = len(order)
+            order.append(node)
+            stack.extend(reversed(children[node]))
+        tout = list(tin)
+        for node in reversed(order):
+            par = parent[node]
+            if par >= 0 and tout[node] > tout[par]:
+                tout[par] = tout[node]
+        self.view = view
+        self.root = root
+        self.parent = parent
+        self.depth = depth
+        self.order = order
+        self.tin = tin
+        self.tout = tout
+
+    def in_subtree(self, ancestor: int, node: int) -> bool:
+        """Return True iff ``node`` lies in the subtree below ``ancestor``."""
+        return self.tin[ancestor] <= self.tin[node] <= self.tout[ancestor]
+
+    def lca(self, u: int, v: int) -> int:
+        """Return the LCA of two indices (depth-walk, linear in the depth gap)."""
+        parent, depth = self.parent, self.depth
+        while depth[u] > depth[v]:
+            u = parent[u]
+        while depth[v] > depth[u]:
+            v = parent[v]
+        while u != v:
+            u = parent[u]
+            v = parent[v]
+        return u
 
 
 def bfs_spanning_tree(graph: nx.Graph | GraphView, root: Hashable | None = None) -> RootedTree:
