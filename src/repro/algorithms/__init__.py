@@ -10,7 +10,21 @@ algorithms here are:
 * :mod:`repro.algorithms.mst_baselines` -- the no-shortcut baseline and the
   ``O~(D + sqrt n)`` general-graph reference model;
 * :mod:`repro.algorithms.mincut`   -- (1 + eps)-approximate minimum cut by
-  greedy spanning-tree packing and 1-/2-respecting tree cuts.
+  greedy spanning-tree packing and 1-/2-respecting tree cuts;
+* :mod:`repro.algorithms.partwise` -- label-space conveniences over the
+  aggregation primitive.
+
+This layer is **array-native**: by default :func:`boruvka_mst` and
+:func:`approximate_min_cut` run on the CSR kernel
+(:class:`~repro.core.GraphView` indices, flat union-find fragments,
+engine-built per-phase shortcuts, Euler-interval cut sweeps), and the seed
+implementations are preserved verbatim behind
+:func:`repro.core.networkx_reference_paths` as differential oracles.  The
+two paths return identical results on every field --
+``tests/test_algorithms_core.py`` pins the equality per family, and
+``benchmarks/bench_algorithms_speedup.py`` (S5) gates the speedup.  See
+``docs/architecture.md`` for the dual-path contract and
+``docs/paper_map.md`` for the statement-by-statement paper map.
 """
 
 from .mst import MstResult, ShortcutBuilder, boruvka_mst, oblivious_builder, reference_mst_weight

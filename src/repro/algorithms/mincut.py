@@ -17,6 +17,29 @@ cost).  The 1-/2-respecting minimisation itself is evaluated centrally with a
 vectorised all-pairs formula -- the distributed versions of this step in the
 cited works are intricate but add only polylogarithmic factors, so the round
 accounting charges them as aggregations (see DESIGN.md, substitutions).
+
+Dual-path contract
+------------------
+
+:func:`approximate_min_cut` has two implementations behind one signature:
+
+* the **array-native fast path** (default): the greedy packing runs in
+  :class:`~repro.core.GraphView` index space (per-edge load array, stable
+  argsort Kruskal reproducing ``nx.minimum_spanning_tree``'s tie-breaking,
+  CSR-ordered BFS rooting), and the 1-/2-respecting sweep derives the
+  edge-crossing indicator matrix from the packed tree's Euler-tour
+  ``tin``/``tout`` intervals in one vectorised comparison instead of
+  materialising a subtree vertex set per tree edge;
+* the **preserved reference path**, the seed implementation verbatim
+  (label-keyed load dicts, per-edge ``subtree_nodes`` sets, ``nx`` packing
+  graphs), runs inside :func:`repro.core.networkx_reference_paths`.
+
+Both build the identical indicator matrix in the identical row/column
+order, so every downstream float (cut values, argmin tie-breaks, reported
+sides) is bit-for-bit equal -- ``tests/test_algorithms_core.py`` pins cut
+value, side, cut edges, rounds and per-tree rounds on every registered
+graph family, and ``benchmarks/bench_algorithms_speedup.py`` (S5) gates the
+end-to-end speedup.
 """
 
 from __future__ import annotations
@@ -28,11 +51,13 @@ from typing import Hashable, Sequence
 import networkx as nx
 import numpy as np
 
+from ..core import core_enabled, view_of
 from ..errors import InvalidGraphError
 from ..graphs.weights import WEIGHT
 from ..congest.aggregation import partwise_aggregate
 from ..shortcuts.shortcut import Shortcut
 from ..structure.spanning import RootedTree, bfs_spanning_tree
+from ..utils import canonical_edge
 from .mst import ShortcutBuilder, boruvka_mst, oblivious_builder
 
 
@@ -44,8 +69,11 @@ class MinCutResult:
         value: the best (smallest) cut weight found.
         cut_edges: the edges crossing the reported cut.
         side: one side of the reported cut (vertex set).
-        exact_value: the exact minimum cut (Stoer--Wagner), for reference.
-        approximation_ratio: ``value / exact_value`` (>= 1).
+        exact_value: the exact minimum cut (Stoer--Wagner), for reference;
+            ``nan`` when the run skipped the centralised oracle
+            (``compute_exact=False``).
+        approximation_ratio: ``value / exact_value`` (>= 1); ``nan`` when
+            the oracle was skipped.
         rounds: total CONGEST rounds charged.
         num_trees: how many trees were packed.
     """
@@ -61,11 +89,314 @@ class MinCutResult:
 
 
 def exact_min_cut(graph: nx.Graph) -> float:
-    """Return the exact global minimum cut value (Stoer--Wagner reference)."""
+    """Return the exact global minimum cut value (Stoer--Wagner reference).
+
+    This is the centralised ``networkx`` oracle used for the
+    ``approximation_ratio`` bookkeeping; it is not part of the measured
+    distributed algorithm and has no fast-path twin.
+    """
     if graph.number_of_nodes() < 2:
         raise InvalidGraphError("min cut needs at least two vertices")
     value, _partition = nx.stoer_wagner(graph, weight=WEIGHT)
     return float(value)
+
+
+def approximate_min_cut(
+    graph: nx.Graph,
+    epsilon: float = 1.0,
+    shortcut_builder: ShortcutBuilder | None = None,
+    tree: RootedTree | None = None,
+    max_trees: int | None = None,
+    seed: int = 0,
+    compute_exact: bool = True,
+) -> MinCutResult:
+    """Compute a (1 + eps)-approximate minimum cut with CONGEST round accounting.
+
+    Args:
+        graph: connected weighted network graph.
+        epsilon: approximation slack; the number of packed trees grows as
+            ``O(log n / eps^2)``.
+        shortcut_builder: shortcut construction used by the underlying
+            distributed MST runs; defaults to the oblivious constructor.
+        tree: the global spanning tree for T-restriction (defaults to BFS).
+        max_trees: optional cap on the packing size (keeps small experiments
+            fast); the default cap is 12.
+        seed: reserved for future randomised variants (the greedy packing is
+            deterministic).
+        compute_exact: also run the centralised Stoer--Wagner oracle and
+            report ``exact_value`` / ``approximation_ratio``.  Pass
+            ``False`` to skip it (both fields come back as ``nan``) -- the
+            S5 benchmark does, because the oracle is identical dead weight
+            in both timing arms.
+
+    Returns:
+        A :class:`MinCutResult`; the tests assert ``approximation_ratio <=
+        1 + epsilon`` on every workload.
+
+    Reference path: inside :func:`repro.core.networkx_reference_paths` the
+    preserved seed implementation runs; the array-native fast path returns
+    bit-identical results on every field -- see the module docstring.
+    """
+    if core_enabled():
+        return _approximate_min_cut_core(
+            graph, epsilon, shortcut_builder, tree, max_trees, compute_exact
+        )
+    return _approximate_min_cut_reference(
+        graph, epsilon, shortcut_builder, tree, max_trees, compute_exact
+    )
+
+
+def _packing_size(n: int, epsilon: float, max_trees: int | None) -> int:
+    """Shared packing-size rule: ``O(log n / eps^2)`` capped at ``max_trees``."""
+    target_trees = max(3, math.ceil(math.log2(n + 2) / (epsilon**2)))
+    if max_trees is None:
+        max_trees = 12
+    return min(target_trees, max_trees)
+
+
+def _charging_probe(graph: nx.Graph, tree: RootedTree) -> int:
+    """Measured rounds of one whole-graph aggregation (the per-cut charge).
+
+    One aggregation on the single full-vertex-set part, communicating over
+    the spanning tree -- both paths charge every 1-/2-respecting evaluation
+    batch at this measured cost.
+    """
+    whole_part = [frozenset(graph.nodes())]
+    whole_shortcut = Shortcut(
+        graph=graph,
+        tree=tree,
+        parts=whole_part,
+        edge_sets=[tree.edge_set()],
+        constructor="mincut-charging",
+    )
+    probe = partwise_aggregate(whole_shortcut, {v: 1 for v in graph.nodes()}, combine=min)
+    return probe.rounds
+
+
+# ---------------------------------------------------------------------------
+# The array-native fast path
+# ---------------------------------------------------------------------------
+
+
+def _approximate_min_cut_core(
+    graph: nx.Graph,
+    epsilon: float,
+    shortcut_builder: ShortcutBuilder | None,
+    tree: RootedTree | None,
+    max_trees: int | None,
+    compute_exact: bool,
+) -> MinCutResult:
+    """Index-space packing + Euler-interval respecting-cut sweep."""
+    if epsilon <= 0:
+        raise InvalidGraphError("epsilon must be positive")
+    builder = shortcut_builder if shortcut_builder is not None else oblivious_builder
+    view = view_of(graph)
+    tree = tree if tree is not None else bfs_spanning_tree(view)
+    n = len(view)
+    num_trees = _packing_size(n, epsilon, max_trees)
+    index_of = view.index_of
+
+    # Measure the distributed MST cost once; each packed tree is one MST
+    # computation of the same shape (only the weights change), so each is
+    # charged the measured cost of a representative run.
+    representative = boruvka_mst(graph, shortcut_builder=builder, tree=tree)
+    mst_rounds = representative.rounds
+
+    # The packing state is flat and index-native: edges in the graph's own
+    # iteration order (the order every float reduction below follows, which
+    # is what keeps the sweep bit-identical to the reference), weights and
+    # loads as parallel arrays.
+    edges_nx = list(graph.edges())
+    num_edges = len(edges_nx)
+    edge_u = np.fromiter((index_of(u) for u, _v in edges_nx), dtype=np.int64, count=num_edges)
+    edge_v = np.fromiter((index_of(v) for _u, v in edges_nx), dtype=np.int64, count=num_edges)
+    base = np.fromiter(
+        (data.get(WEIGHT, 1.0) for _u, _v, data in graph.edges(data=True)),
+        dtype=np.float64,
+        count=num_edges,
+    )
+    loads = np.zeros(num_edges, dtype=np.float64)
+    load_unit = base / (num_edges + 1.0)
+    edge_u_list = edge_u.tolist()
+    edge_v_list = edge_v.tolist()
+
+    best_value = float("inf")
+    best_side: frozenset = frozenset()
+    total_rounds = 0
+    tree_rounds: list[int] = []
+
+    aggregation_rounds = _charging_probe(graph, tree)
+    log_n = max(1, math.ceil(math.log2(n + 2)))
+    root_index = index_of(tree.root)
+
+    for _round in range(num_trees):
+        # Greedy packing: MST under current loads (load-dominated weights).
+        # Stable argsort by packed weight reproduces nx.minimum_spanning_tree
+        # exactly: Kruskal's tie-break is "first in graph edge order".
+        packed = loads + load_unit
+        order = np.argsort(packed, kind="stable").tolist()
+        uf = list(range(n))
+
+        def find(vertex: int) -> int:
+            root = vertex
+            while uf[root] != root:
+                root = uf[root]
+            while uf[vertex] != root:
+                uf[vertex], vertex = root, uf[vertex]
+            return root
+
+        accepted: list[int] = []
+        for edge_id in order:
+            ru, rv = find(edge_u_list[edge_id]), find(edge_v_list[edge_id])
+            if ru == rv:
+                continue
+            uf[rv] = ru
+            accepted.append(edge_id)
+            if len(accepted) == n - 1:
+                break
+        loads[accepted] += 1.0
+
+        # Root the packed tree by BFS from the global root; ascending index
+        # order is repr order, so this is the tree bfs_spanning_tree builds.
+        adjacency: list[list[int]] = [[] for _ in range(n)]
+        for edge_id in accepted:
+            a, b = edge_u_list[edge_id], edge_v_list[edge_id]
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+        parent = [-2] * n
+        parent[root_index] = -1
+        queue = [root_index]
+        head = 0
+        while head < len(queue):
+            node = queue[head]
+            head += 1
+            for neighbour in sorted(adjacency[node]):
+                if parent[neighbour] == -2:
+                    parent[neighbour] = node
+                    queue.append(neighbour)
+
+        value, side, charges = _respecting_cuts_core(
+            view, base, edge_u, edge_v, parent
+        )
+        if value < best_value and 0 < len(side) < n:
+            best_value, best_side = value, side
+        rounds_this_tree = mst_rounds + len(charges) * aggregation_rounds * log_n
+        total_rounds += rounds_this_tree
+        tree_rounds.append(rounds_this_tree)
+
+    cut_edges = frozenset(
+        (u, v) for u, v in edges_nx if (u in best_side) != (v in best_side)
+    )
+    if compute_exact:
+        exact = exact_min_cut(graph)
+        ratio = best_value / exact if exact > 0 else 1.0
+    else:
+        exact = float("nan")
+        ratio = float("nan")
+    return MinCutResult(
+        value=best_value,
+        cut_edges=cut_edges,
+        side=best_side,
+        exact_value=exact,
+        approximation_ratio=ratio,
+        rounds=total_rounds,
+        num_trees=num_trees,
+        tree_rounds=tree_rounds,
+    )
+
+
+def _respecting_cuts_core(
+    view, base: np.ndarray, edge_u: np.ndarray, edge_v: np.ndarray, parent: list[int]
+) -> tuple[float, frozenset, list[int]]:
+    """Best 1-/2-respecting cut of the tree given by ``parent`` (index space).
+
+    The reference implementation materialises the subtree vertex set of
+    every tree edge and asks a set-membership question per (graph edge,
+    tree edge) pair.  Here a subtree is the Euler-tour interval
+    ``[tin, tout]`` of the edge's child endpoint, so the whole indicator
+    matrix ``X`` is two vectorised interval tests; because the rows follow
+    the same graph-edge order and the columns the same sorted-tree-edge
+    order as the reference, the downstream matrix algebra -- and therefore
+    every argmin tie-break -- is bit-identical.
+    """
+    n = len(parent)
+    node_of = view.nodes
+    children_of: list[list[int]] = [[] for _ in range(n)]
+    root = -1
+    for node, par in enumerate(parent):
+        if par >= 0:
+            children_of[par].append(node)
+        elif par == -1:
+            root = node
+    tin = [0] * n
+    tout = [0] * n
+    order: list[int] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        tin[node] = len(order)
+        order.append(node)
+        stack.extend(reversed(children_of[node]))
+    for node in order:
+        tout[node] = tin[node]
+    for node in reversed(order):
+        par = parent[node]
+        if par >= 0 and tout[node] > tout[par]:
+            tout[par] = tout[node]
+
+    # Tree edges in the reference's order: canonical label pairs, sorted.
+    entries = sorted(
+        (canonical_edge(node_of[child], node_of[parent[child]]), child)
+        for child in range(n)
+        if parent[child] >= 0
+    )
+    if not entries:
+        return float("inf"), frozenset(), []
+    tin_arr = np.asarray(tin, dtype=np.int64)
+    tout_arr = np.asarray(tout, dtype=np.int64)
+    child_arr = np.fromiter((child for _edge, child in entries), dtype=np.int64, count=len(entries))
+    low = tin_arr[child_arr][None, :]
+    high = tout_arr[child_arr][None, :]
+    tin_u = tin_arr[edge_u][:, None]
+    tin_v = tin_arr[edge_v][:, None]
+    in_u = (tin_u >= low) & (tin_u <= high)
+    in_v = (tin_v >= low) & (tin_v <= high)
+    X = (in_u != in_v).astype(np.float64)
+
+    ones_cut = base @ X  # 1-respecting values s_k
+    cross = X.T @ (X * base[:, None])  # (X^T W X)
+    pair_cut = ones_cut[:, None] + ones_cut[None, :] - 2.0 * cross
+    np.fill_diagonal(pair_cut, np.inf)
+
+    best_single = int(np.argmin(ones_cut))
+    best_single_value = float(ones_cut[best_single])
+    best_pair_flat = int(np.argmin(pair_cut))
+    i, j = divmod(best_pair_flat, pair_cut.shape[1])
+    best_pair_value = float(pair_cut[i, j])
+
+    def interval_side(*columns: int) -> frozenset:
+        members = np.zeros(n, dtype=bool)
+        for column in columns:
+            child = int(child_arr[column])
+            inside = (tin_arr >= tin[child]) & (tin_arr <= tout[child])
+            members ^= inside
+        return frozenset(node_of[index] for index in np.flatnonzero(members))
+
+    if best_single_value <= best_pair_value:
+        side = interval_side(best_single)
+        value = best_single_value
+    else:
+        side = interval_side(i, j)
+        value = best_pair_value
+    # Charges: one subtree aggregation per tree edge batch (log n batches in
+    # the distributed implementations); recorded as a single unit here and
+    # converted by the caller.
+    return value, side, [1]
+
+
+# ---------------------------------------------------------------------------
+# The preserved reference path (the seed implementation, verbatim)
+# ---------------------------------------------------------------------------
 
 
 def _respecting_cuts(
@@ -82,6 +413,10 @@ def _respecting_cuts(
     ``s_i + s_j - 2 * (X^T W X)_{ij}`` where ``s`` is the 1-respecting value
     vector.  The returned "charges" list records the number of aggregation-
     equivalent operations, which the caller converts to rounds.
+
+    This is the preserved reference sweep (one ``subtree_nodes`` set per
+    tree edge, a Python loop per matrix entry); the fast path derives the
+    same matrix from Euler-tour intervals.
     """
     tree_edges = sorted(tree.edges())
     if not tree_edges:
@@ -126,41 +461,21 @@ def _respecting_cuts(
     return value, side, [1]
 
 
-def approximate_min_cut(
+def _approximate_min_cut_reference(
     graph: nx.Graph,
-    epsilon: float = 1.0,
-    shortcut_builder: ShortcutBuilder | None = None,
-    tree: RootedTree | None = None,
-    max_trees: int | None = None,
-    seed: int = 0,
+    epsilon: float,
+    shortcut_builder: ShortcutBuilder | None,
+    tree: RootedTree | None,
+    max_trees: int | None,
+    compute_exact: bool,
 ) -> MinCutResult:
-    """Compute a (1 + eps)-approximate minimum cut with CONGEST round accounting.
-
-    Args:
-        graph: connected weighted network graph.
-        epsilon: approximation slack; the number of packed trees grows as
-            ``O(log n / eps^2)``.
-        shortcut_builder: shortcut construction used by the underlying
-            distributed MST runs; defaults to the oblivious constructor.
-        tree: the global spanning tree for T-restriction (defaults to BFS).
-        max_trees: optional cap on the packing size (keeps small experiments
-            fast); the default cap is 12.
-        seed: reserved for future randomised variants (the greedy packing is
-            deterministic).
-
-    Returns:
-        A :class:`MinCutResult`; the tests assert ``approximation_ratio <=
-        1 + epsilon`` on every workload.
-    """
+    """The preserved seed implementation (label-keyed networkx structures)."""
     if epsilon <= 0:
         raise InvalidGraphError("epsilon must be positive")
     builder = shortcut_builder if shortcut_builder is not None else oblivious_builder
     tree = tree if tree is not None else bfs_spanning_tree(graph)
     n = graph.number_of_nodes()
-    target_trees = max(3, math.ceil(math.log2(n + 2) / (epsilon**2)))
-    if max_trees is None:
-        max_trees = 12
-    num_trees = min(target_trees, max_trees)
+    num_trees = _packing_size(n, epsilon, max_trees)
 
     # Measure the distributed MST cost once; each packed tree is one MST
     # computation of the same shape (only the weights change), so each is
@@ -175,16 +490,7 @@ def approximate_min_cut(
     tree_rounds: list[int] = []
 
     # One aggregation on the full-graph part gives the per-cut-evaluation charge.
-    whole_part = [frozenset(graph.nodes())]
-    whole_shortcut = Shortcut(
-        graph=graph,
-        tree=tree,
-        parts=whole_part,
-        edge_sets=[tree.edge_set()],
-        constructor="mincut-charging",
-    )
-    probe = partwise_aggregate(whole_shortcut, {v: 1 for v in graph.nodes()}, combine=min)
-    aggregation_rounds = probe.rounds
+    aggregation_rounds = _charging_probe(graph, tree)
     log_n = max(1, math.ceil(math.log2(n + 2)))
 
     for _round in range(num_trees):
@@ -211,8 +517,12 @@ def approximate_min_cut(
     cut_edges = frozenset(
         (u, v) for u, v in graph.edges() if (u in best_side) != (v in best_side)
     )
-    exact = exact_min_cut(graph)
-    ratio = best_value / exact if exact > 0 else 1.0
+    if compute_exact:
+        exact = exact_min_cut(graph)
+        ratio = best_value / exact if exact > 0 else 1.0
+    else:
+        exact = float("nan")
+        ratio = float("nan")
     return MinCutResult(
         value=best_value,
         cut_edges=cut_edges,

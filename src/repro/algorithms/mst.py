@@ -23,6 +23,37 @@ The *construction* of the shortcut itself is not charged rounds: the
 distributed construction of HIZ16a takes ``O~(q)`` rounds, the same order as
 one aggregation, so charging it would only change constants; DESIGN.md
 records this simplification.
+
+Dual-path contract
+------------------
+
+:func:`boruvka_mst` has two implementations behind one signature:
+
+* the **array-native fast path** (default): fragments live in a flat
+  union-find owner array over the graph's :class:`~repro.core.GraphView`
+  indices, each phase's family is handed to the shortcut machinery as an
+  incremental :meth:`~repro.core.PartSet.from_member_lists` part set (no
+  per-phase label-frozenset materialisation), the MWOE search is one scan
+  over the CSR adjacency slices with per-edge canonical tie-break keys
+  precomputed once per run, shortcuts for the default oblivious builder are
+  built by driving :class:`~repro.shortcuts.engine.ConstructionEngine`
+  directly (reusing the tree's cached Euler-tour index and one
+  :class:`~repro.shortcuts.engine.EngineScratch` across all phases), and
+  the aggregation runs through
+  :func:`~repro.congest.aggregation.partwise_aggregate_indexed` on flat
+  value arrays;
+* the **preserved reference path**, the seed implementation verbatim
+  (label-keyed dicts, per-phase frozenset families), runs inside
+  :func:`repro.core.networkx_reference_paths`.
+
+Both return *identical* results -- MST edge set, weight, total rounds,
+phases, per-phase rounds and qualities -- which
+``tests/test_algorithms_core.py`` pins on every registered graph family,
+and ``benchmarks/bench_algorithms_speedup.py`` (S5) gates the fast path's
+end-to-end speedup.  (With non-integer edge weights the two paths may sum
+the identical MST edge set in different orders, so ``weight`` can differ in
+the last float ulp; every generator in this package uses integer-valued
+weights, where the sums are exact.)
 """
 
 from __future__ import annotations
@@ -32,10 +63,12 @@ from typing import Callable, Hashable, Sequence
 
 import networkx as nx
 
+from ..core import PartSet, core_enabled, view_of
 from ..errors import ConvergenceError
 from ..graphs.weights import WEIGHT
-from ..congest.aggregation import partwise_aggregate
-from ..shortcuts.congestion_capped import oblivious_shortcut
+from ..congest.aggregation import partwise_aggregate, partwise_aggregate_indexed
+from ..shortcuts.congestion_capped import oblivious_shortcut, oblivious_sweep
+from ..shortcuts.engine import ConstructionEngine, EngineScratch
 from ..shortcuts.shortcut import Shortcut
 from ..structure.spanning import RootedTree, bfs_spanning_tree
 from ..utils import canonical_edge
@@ -46,8 +79,20 @@ ShortcutBuilder = Callable[[nx.Graph, RootedTree, Sequence[frozenset]], Shortcut
 
 
 def oblivious_builder(graph: nx.Graph, tree: RootedTree, parts: Sequence[frozenset]) -> Shortcut:
-    """Default shortcut builder: the structure-oblivious congestion-capped search."""
+    """Default shortcut builder: the structure-oblivious congestion-capped search.
+
+    Marked ``uses_engine``: the array-native Boruvka loop recognises this
+    builder (and any other builder carrying the flag, like the scenario
+    registry's ``oblivious`` constructor) and drives the construction engine
+    directly on its per-phase :class:`~repro.core.PartSet` instead of
+    round-tripping the fragments through label frozensets.
+    """
     return oblivious_shortcut(graph, tree, parts)
+
+
+# The fast path may construct this builder's result engine-side; the two are
+# pinned identical by the construction-engine differential tests.
+oblivious_builder.uses_engine = True
 
 
 @dataclass
@@ -73,7 +118,12 @@ class MstResult:
 
 
 def reference_mst_weight(graph: nx.Graph) -> float:
-    """Return the weight of a reference (centralised) MST for validation."""
+    """Return the weight of a reference (centralised) MST for validation.
+
+    This is the centralised ``networkx`` oracle (Kruskal), used by tests and
+    experiment records to check the distributed result; it is not part of
+    the measured algorithm and has no fast-path twin.
+    """
     tree = nx.minimum_spanning_tree(graph, weight=WEIGHT)
     return sum(graph[u][v].get(WEIGHT, 1.0) for u, v in tree.edges())
 
@@ -106,7 +156,188 @@ def boruvka_mst(
     Returns:
         An :class:`MstResult`; ``result.weight`` always equals the reference
         MST weight (the tests assert this on every workload).
+
+    Reference path: inside :func:`repro.core.networkx_reference_paths` the
+    preserved seed implementation runs (label-keyed fragments, per-phase
+    frozenset families); the array-native fast path returns identical
+    results on every field -- see the module docstring for the exact
+    equality guarantee.
     """
+    if core_enabled():
+        return _boruvka_mst_core(
+            graph, shortcut_builder, tree, max_phases, validate_shortcuts
+        )
+    return _boruvka_mst_reference(
+        graph, shortcut_builder, tree, max_phases, validate_shortcuts
+    )
+
+
+def _boruvka_mst_core(
+    graph: nx.Graph,
+    shortcut_builder: ShortcutBuilder | None,
+    tree: RootedTree | None,
+    max_phases: int | None,
+    validate_shortcuts: bool,
+) -> MstResult:
+    """The array-native Boruvka loop (see the module docstring)."""
+    builder = shortcut_builder if shortcut_builder is not None else oblivious_builder
+    use_engine = bool(getattr(builder, "uses_engine", False))
+    view = view_of(graph)
+    tree = tree if tree is not None else bfs_spanning_tree(view)
+    n = len(view)
+    if max_phases is None:
+        max_phases = 2 + max(1, n).bit_length()
+
+    core = view.core
+    indptr, indices = core._indptr_list, core._indices_list
+    node_of = view.nodes
+
+    # Canonical per-slot tie-break keys, computed once per run: the reference
+    # recomputes repr(canonical_edge(u, v)) for every directed edge in every
+    # phase; the string for slot (u -> v) here is byte-identical to that repr.
+    # Weights are re-read from the nx graph per run rather than taken from
+    # the CSR cache: the frozen-once-viewed convention covers topology, but
+    # callers legitimately reassign *weights* between runs over one graph
+    # (the README quickstart does), and the reference path sees those live.
+    node_repr = [repr(label) for label in node_of]
+    slot_key = [""] * len(indices)
+    edge_weights = [1.0] * len(indices)
+    for u in range(n):
+        ru = node_repr[u]
+        adjacency = graph.adj[node_of[u]]
+        for offset in range(indptr[u], indptr[u + 1]):
+            v = indices[offset]
+            rv = node_repr[v]
+            slot_key[offset] = f"({ru}, {rv})" if ru <= rv else f"({rv}, {ru})"
+            edge_weights[offset] = adjacency[node_of[v]].get(WEIGHT, 1.0)
+
+    # Fragment state: a flat owner array (vertex index -> fragment root) and
+    # incrementally merged member lists.  Roots are the minimum vertex index
+    # of their fragment (merges always point the larger root at the smaller,
+    # exactly like the reference's union), so the ascending roots list is
+    # also the reference's ascending-fragment-id part order.
+    frag = list(range(n))
+    members: list[list[int]] = [[index] for index in range(n)]
+    roots = list(range(n))
+
+    mst_edges: set[tuple[Hashable, Hashable]] = set()
+    total_rounds = 0
+    phase_rounds: list[int] = []
+    phase_qualities: list[int] = []
+    sync_cost = max(1, tree.height)
+    scratch = EngineScratch(n) if use_engine else None
+    infinity = (float("inf"), "", -1, -1)
+
+    for _phase in range(max_phases):
+        if len(roots) <= 1:
+            break
+        part_set = PartSet.from_member_lists(view, [members[root] for root in roots])
+        if use_engine:
+            engine = ConstructionEngine(graph, tree, part_set=part_set, scratch=scratch)
+            shortcut = oblivious_sweep(engine)
+        else:
+            shortcut = builder(graph, tree, part_set.label_parts())
+        if validate_shortcuts:
+            shortcut.validate()
+        quality = shortcut.chosen_quality
+        phase_qualities.append(quality if quality is not None else shortcut.quality())
+
+        # Every vertex's best outgoing edge (1 round of neighbour exchange
+        # lets every node learn its neighbours' fragment ids): one scan over
+        # the CSR slices against the owner array.
+        candidate: list[tuple] = [infinity] * n
+        for u in range(n):
+            fragment_u = frag[u]
+            best_w = float("inf")
+            best_k = ""
+            best_v = -1
+            for offset in range(indptr[u], indptr[u + 1]):
+                v = indices[offset]
+                if frag[v] == fragment_u:
+                    continue
+                w = edge_weights[offset]
+                if w > best_w:
+                    continue
+                k = slot_key[offset]
+                if w < best_w or k < best_k:
+                    best_w, best_k, best_v = w, k, v
+            if best_v >= 0:
+                candidate[u] = (best_w, best_k, u, best_v)
+
+        aggregation = partwise_aggregate_indexed(
+            shortcut,
+            values=candidate,
+            combine=lambda a, b: a if a[:2] <= b[:2] else b,
+        )
+        # Fragment leaders now know the MWOE; a second aggregation round trip
+        # (merge coordination: agreeing on the merged fragment identifier) is
+        # charged at the same measured cost.
+        rounds_this_phase = 1 + 2 * aggregation.rounds + sync_cost
+        total_rounds += rounds_this_phase
+        phase_rounds.append(rounds_this_phase)
+
+        # Apply the merges centrally (the simulation already charged the
+        # communication); union-find over the pre-phase roots with the MWOEs
+        # as merge edges.
+        union: dict[int, int] = {root: root for root in roots}
+
+        def find(root: int) -> int:
+            while union[root] != root:
+                union[root] = union[union[root]]
+                root = union[root]
+            return root
+
+        merged_any = False
+        for part_index, _root in enumerate(roots):
+            mwoe = aggregation.values[part_index]
+            if mwoe is None or mwoe[2] < 0:
+                continue
+            weight, _key, u, v = mwoe
+            if weight == float("inf"):
+                continue
+            ru, rv = find(frag[u]), find(frag[v])
+            if ru == rv:
+                continue
+            union[max(ru, rv)] = min(ru, rv)
+            mst_edges.add(canonical_edge(node_of[u], node_of[v]))
+            merged_any = True
+        if not merged_any:
+            raise ConvergenceError("Boruvka phase made no progress; graph may be disconnected")
+        surviving: list[int] = []
+        for root in roots:
+            winner = find(root)
+            if winner == root:
+                surviving.append(root)
+            else:
+                moved = members[root]
+                for vertex in moved:
+                    frag[vertex] = winner
+                members[winner].extend(moved)
+                members[root] = []
+        roots = surviving
+    else:
+        if len(roots) > 1:
+            raise ConvergenceError("Boruvka did not converge within the phase budget")
+
+    weight = sum(_edge_weight(graph, u, v) for u, v in mst_edges)
+    return MstResult(
+        edges=frozenset(mst_edges),
+        weight=weight,
+        rounds=total_rounds,
+        phases=len(phase_rounds),
+        phase_rounds=phase_rounds,
+        phase_qualities=phase_qualities,
+    )
+
+
+def _boruvka_mst_reference(
+    graph: nx.Graph,
+    shortcut_builder: ShortcutBuilder | None,
+    tree: RootedTree | None,
+    max_phases: int | None,
+    validate_shortcuts: bool,
+) -> MstResult:
+    """The preserved seed implementation (label-keyed networkx structures)."""
     builder = shortcut_builder if shortcut_builder is not None else oblivious_builder
     tree = tree if tree is not None else bfs_spanning_tree(graph)
     nodes = sorted(graph.nodes(), key=repr)

@@ -650,6 +650,72 @@ def experiment_simulator_speedup(
     }
 
 
+def experiment_algorithms_speedup(
+    side: int = 30,
+    seed: int = 23,
+    epsilon: float = 1.0,
+    repeats: int = 3,
+) -> dict:
+    """S5 -- the array-native algorithm layer versus the networkx reference.
+
+    Times the paper's end-to-end workload (Corollary 1) -- one distributed
+    Boruvka MST plus one (1+eps)-approximate min-cut via tree packing -- on
+    a ``side x side`` planar grid twice: once on the array-native fast paths
+    (flat union-find fragments, CSR MWOE scans, engine-driven per-phase
+    shortcuts, indexed aggregation, Euler-interval respecting-cut sweeps)
+    and once with the preserved seed implementations forced via
+    :func:`repro.core.networkx_reference_paths`.  Both arms must agree
+    exactly -- MST edges/weight/rounds/phases/qualities and cut
+    value/side/edges/rounds -- and ``benchmarks/bench_algorithms_speedup.py``
+    gates the wall-clock ratio at >=3x.  The centralised Stoer--Wagner
+    oracle is skipped (``compute_exact=False``): it is identical dead
+    weight in both arms and no part of the distributed algorithm.  Timing
+    is best of ``repeats``.
+    """
+    cache = InstanceCache()
+    instance = build_instance("planar", {"side": side}, seed=seed, cache=cache)
+    instance.view  # warm the shared conversion (one per sweep)
+    tree = instance.tree
+    weighted = instance.weighted_graph(seed, low=1, high=10)
+
+    def run_workload():
+        mst = boruvka_mst(weighted, tree=tree)
+        cut = approximate_min_cut(
+            weighted, epsilon=epsilon, tree=tree, compute_exact=False
+        )
+        return mst, cut
+
+    fast_seconds, (fast_mst, fast_cut) = _best_of(run_workload, repeats)
+    with networkx_reference_paths():
+        reference_seconds, (reference_mst, reference_cut) = _best_of(run_workload, repeats)
+    agree = (
+        fast_mst.edges == reference_mst.edges
+        and fast_mst.weight == reference_mst.weight
+        and fast_mst.rounds == reference_mst.rounds
+        and fast_mst.phase_rounds == reference_mst.phase_rounds
+        and fast_mst.phase_qualities == reference_mst.phase_qualities
+        and fast_cut.value == reference_cut.value
+        and fast_cut.side == reference_cut.side
+        and fast_cut.cut_edges == reference_cut.cut_edges
+        and fast_cut.rounds == reference_cut.rounds
+        and fast_cut.tree_rounds == reference_cut.tree_rounds
+    )
+    return {
+        "experiment": "S5-algorithms-speedup",
+        "n": side * side,
+        "epsilon": epsilon,
+        "mst_rounds": fast_mst.rounds,
+        "mst_phases": fast_mst.phases,
+        "mincut_value": fast_cut.value,
+        "mincut_rounds": fast_cut.rounds,
+        "num_trees": fast_cut.num_trees,
+        "fast_seconds": fast_seconds,
+        "reference_seconds": reference_seconds,
+        "speedup": reference_seconds / max(fast_seconds, 1e-9),
+        "results_agree": agree,
+    }
+
+
 def experiment_construction_speedup(
     side: int = 30,
     seed: int = 23,

@@ -18,6 +18,30 @@ serialise, which is exactly how congestion costs rounds in the model.  A
 greedy FIFO schedule is used; optimal scheduling is NP-hard but within
 ``O(congestion + dilation)`` of the greedy one, so the measured shape is the
 one the theory predicts.
+
+Two entry points share one core scheduler:
+
+* :func:`partwise_aggregate` -- the label-keyed public primitive: ``values``
+  maps node labels to inputs, per-part aggregates come back in part order.
+  On the CSR fast path the schedule runs entirely in vertex-index space
+  (flat adjacency slices, int-keyed queues, per-edge delivery keys derived
+  from the label reprs exactly once), producing round-for-round identical
+  schedules to the preserved label implementation; forcing
+  :func:`repro.core.networkx_reference_paths` runs the seed scheduler
+  verbatim, and the differential tests pin the two equal on every family.
+* :func:`partwise_aggregate_indexed` -- the array-native twin used by the
+  Boruvka fast path (:mod:`repro.algorithms.mst`): ``values`` is a flat
+  sequence indexed by :class:`~repro.core.GraphView` vertex index, so a
+  caller that already lives in index space never round-trips through label
+  dictionaries.  Aggregates, rounds and messages are identical to the
+  label-keyed entry point by construction (the schedule never looks at the
+  values).
+
+Shortcuts built by the array-native construction engine carry their part
+family and shortcut edges as vertex-index arrays
+(:meth:`repro.shortcuts.engine.ConstructionEngine.build_shortcut`); the
+scheduler consumes those directly and only falls back to the label
+``edge_sets`` / ``parts`` for shortcuts built in label space.
 """
 
 from __future__ import annotations
@@ -31,7 +55,6 @@ import networkx as nx
 from ..core import core_enabled, view_of
 from ..errors import SimulationError
 from ..shortcuts.shortcut import Shortcut
-from ..structure.spanning import bfs_spanning_tree
 
 Value = object
 DirectedEdge = tuple[Hashable, Hashable]
@@ -80,48 +103,6 @@ def _aggregation_tree(augmented: nx.Graph, anchor: Hashable) -> dict[Hashable, H
     return parent
 
 
-def _aggregation_tree_core(
-    shortcut: Shortcut, index: int
-) -> dict[Hashable, Hashable | None]:
-    """The CSR twin of ``augmented_subgraph`` + ``_aggregation_tree``.
-
-    Builds the part's augmented adjacency (induced CSR slice of ``P_i`` plus
-    the ``H_i`` edges) as flat index lists and BFS-walks it from the minimum
-    index of the part.  Index order is repr order, so both the anchor choice
-    and the neighbour tie-breaking coincide with the networkx path and the
-    returned label-keyed parent map is identical.
-    """
-    view = view_of(shortcut.graph)
-    index_of = view.index_of
-    members = sorted(index_of(node) for node in shortcut.parts[index])
-    member_set = set(members)
-    adjacency: dict[int, list[int]] = {u: [] for u in members}
-    neighbors = view.core.neighbors
-    for u in members:
-        adjacency[u] = [v for v in neighbors(u) if v in member_set]
-    for a, b in shortcut.edge_sets[index]:
-        u, v = index_of(a), index_of(b)
-        row = adjacency.setdefault(u, [])
-        if v not in row:
-            row.append(v)
-        row = adjacency.setdefault(v, [])
-        if u not in row:
-            row.append(u)
-    anchor = members[0]
-    parent_idx: dict[int, int | None] = {anchor: None}
-    queue: deque[int] = deque([anchor])
-    while queue:
-        u = queue.popleft()
-        for v in sorted(adjacency[u]):
-            if v not in parent_idx:
-                parent_idx[v] = u
-                queue.append(v)
-    node_of = view.nodes
-    return {
-        node_of[u]: (None if p is None else node_of[p]) for u, p in parent_idx.items()
-    }
-
-
 def partwise_aggregate(
     shortcut: Shortcut,
     values: Mapping[Hashable, Value],
@@ -134,22 +115,277 @@ def partwise_aggregate(
         shortcut: the shortcut whose augmented subgraphs define each part's
             communication graph.
         values: per-vertex input values; every vertex of every part must have
-            one.  Vertices outside all parts are ignored (they only relay).
+            one (a part vertex without a value raises
+            :class:`~repro.errors.SimulationError`).  Vertices outside all
+            parts are ignored (they only relay).
         combine: associative, commutative binary operation (min by default).
         max_rounds: safety bound on the schedule length.
 
     Returns:
         An :class:`AggregationResult` with per-part aggregates and the exact
         number of rounds used by the greedy schedule.
+
+    Reference path: inside :func:`repro.core.networkx_reference_paths` the
+    preserved seed scheduler runs on label-keyed dicts and ``nx`` subgraphs;
+    the fast index-space scheduler is round-, message- and value-identical
+    (``tests/test_core_graphview.py`` pins this on every family).
+    """
+    if core_enabled():
+        return _partwise_aggregate_core(shortcut, values, None, combine, max_rounds)
+    return _partwise_aggregate_reference(shortcut, values, combine, max_rounds)
+
+
+def partwise_aggregate_indexed(
+    shortcut: Shortcut,
+    values: Sequence[Value],
+    combine: Callable[[Value, Value], Value] = min,
+    max_rounds: int = 1_000_000,
+) -> AggregationResult:
+    """Index-space twin of :func:`partwise_aggregate`.
+
+    ``values`` is a sequence of length ``n`` indexed by the
+    :class:`~repro.core.GraphView` vertex index (full coverage -- every
+    vertex has an entry, so the label path's missing-value check does not
+    apply).  This is the entry point for callers that already hold their
+    state in flat arrays, like the Boruvka MWOE step; it skips the
+    label-dictionary round trip entirely.  Outside the CSR fast paths the
+    values are relabelled once and the preserved reference scheduler runs,
+    so both modes remain available to differential tests.
+    """
+    if core_enabled():
+        return _partwise_aggregate_core(shortcut, None, values, combine, max_rounds)
+    view = view_of(shortcut.graph)
+    labelled = {view.nodes[index]: value for index, value in enumerate(values)}
+    return _partwise_aggregate_reference(shortcut, labelled, combine, max_rounds)
+
+
+def _core_members(shortcut: Shortcut):
+    """Return (view, part_set) for the index-space scheduler."""
+    part_set = shortcut.part_set()
+    return part_set.view, part_set
+
+
+def _core_edge_lists(shortcut: Shortcut, view) -> list[list[tuple[int, int]]]:
+    """Per-part shortcut edges as vertex-index pairs.
+
+    Engine-built shortcuts carry them from construction; label-built
+    shortcuts convert their canonical edge sets once per aggregation.
+    """
+    if shortcut._core_edges is not None:
+        return shortcut._core_edges
+    index_of = view.index_of
+    return [
+        [(index_of(u), index_of(v)) for u, v in edges] for edges in shortcut.edge_sets
+    ]
+
+
+def _partwise_aggregate_core(
+    shortcut: Shortcut,
+    label_values: Mapping[Hashable, Value] | None,
+    indexed_values: Sequence[Value] | None,
+    combine: Callable[[Value, Value], Value],
+    max_rounds: int,
+) -> AggregationResult:
+    """The index-space greedy scheduler (the CSR fast path).
+
+    Vertices are view indices throughout; the only label work is the
+    per-directed-edge delivery key ``repr((label_u, label_v))``, computed
+    once per edge that actually carries a message, which keeps the greedy
+    schedule order identical to the preserved label implementation (index
+    order is repr order for vertices, but *edge* keys are string reprs of
+    label pairs, so they must be derived from the labels).
+    """
+    view, part_set = _core_members(shortcut)
+    node_of = view.nodes
+    num_parts = part_set.num_parts
+    aggregates: list[Value] = [None] * num_parts
+    per_part_done: list[int] = [0] * num_parts
+
+    if label_values is not None:
+        # Same missing-value check (and same reported vertex) as the
+        # reference path: iterate the label parts in frozenset order.
+        for index, part in enumerate(shortcut.parts):
+            for vertex in part:
+                if vertex not in label_values:
+                    raise SimulationError(
+                        f"no input value for vertex {vertex} of part {index}"
+                    )
+
+        def value_of(vertex: int) -> Value:
+            return label_values[node_of[vertex]]
+
+    else:
+
+        def value_of(vertex: int) -> Value:
+            return indexed_values[vertex]
+
+    core = view.core
+    indptr, indices = core._indptr_list, core._indices_list
+    edge_lists = _core_edge_lists(shortcut, view)
+
+    # Per-part aggregation trees (BFS parent maps over the augmented
+    # subgraph, anchored at the part's minimum index) and bookkeeping.
+    parents: list[dict[int, int | None]] = []
+    pending_children: list[dict[int, int]] = []
+    partial: list[dict[int, Value]] = []
+    for index in range(num_parts):
+        members = part_set.members_of(index)
+        member_set = set(members)
+        adjacency: dict[int, list[int]] = {
+            u: [v for v in indices[indptr[u] : indptr[u + 1]] if v in member_set]
+            for u in members
+        }
+        for a, b in edge_lists[index]:
+            row = adjacency.setdefault(a, [])
+            if b not in row:
+                row.append(b)
+            row = adjacency.setdefault(b, [])
+            if a not in row:
+                row.append(a)
+        anchor = members[0]
+        parent: dict[int, int | None] = {anchor: None}
+        queue: deque[int] = deque([anchor])
+        while queue:
+            u = queue.popleft()
+            for v in sorted(adjacency[u]):
+                if v not in parent:
+                    parent[v] = u
+                    queue.append(v)
+        parents.append(parent)
+        counts: dict[int, int] = {node: 0 for node in parent}
+        for node, par in parent.items():
+            if par is not None:
+                counts[par] += 1
+        pending_children.append(counts)
+        partial.append(
+            {
+                node: value_of(node) if node in member_set else None
+                for node in parent
+            }
+        )
+
+    # Build the initial set of ready "up" tasks: leaves of each aggregation
+    # tree.  Directed edges deliver in canonical (repr) order each round;
+    # the repr of an index edge is derived from its labels once, when the
+    # edge first carries a task.
+    edge_queues: dict[tuple[int, int], deque[_Task]] = {}
+    active_edges: set[tuple[int, int]] = set()
+    edge_key: dict[tuple[int, int], str] = {}
+    outstanding = 0
+
+    def enqueue(task: _Task) -> None:
+        nonlocal outstanding
+        queue = edge_queues.get(task.edge)
+        if queue is None:
+            queue = edge_queues[task.edge] = deque()
+            u, v = task.edge
+            edge_key[task.edge] = f"({node_of[u]!r}, {node_of[v]!r})"
+        queue.append(task)
+        active_edges.add(task.edge)
+        outstanding += 1
+
+    for index in range(num_parts):
+        parent = parents[index]
+        pending = pending_children[index]
+        for node, par in parent.items():
+            if par is not None and pending[node] == 0:
+                enqueue(_Task(part=index, edge=(node, par), kind="up", child=node))
+
+    # Down-phase bookkeeping: which vertices still await the broadcast.
+    awaiting_down: list[set[int]] = [set() for _ in range(num_parts)]
+
+    rounds = 0
+    messages = 0
+    while outstanding > 0:
+        if rounds > max_rounds:
+            raise SimulationError("aggregation schedule exceeded the round budget")
+        rounds += 1
+        delivered: list[_Task] = []
+        # Each directed edge delivers at most one message per round.
+        for edge in sorted(active_edges, key=edge_key.__getitem__):
+            queue = edge_queues[edge]
+            if queue:
+                delivered.append(queue.popleft())
+                outstanding -= 1
+                messages += 1
+                if not queue:
+                    active_edges.discard(edge)
+        for task in delivered:
+            index = task.part
+            parent = parents[index]
+            if task.kind == "up":
+                sender, receiver = task.edge
+                value = partial[index][sender]
+                current = partial[index][receiver]
+                if value is not None:
+                    partial[index][receiver] = (
+                        value if current is None else combine(current, value)
+                    )
+                pending_children[index][receiver] -= 1
+                if pending_children[index][receiver] == 0:
+                    grand = parent[receiver]
+                    if grand is not None:
+                        enqueue(_Task(part=index, edge=(receiver, grand), kind="up", child=receiver))
+                    else:
+                        # The root has the aggregate: start the broadcast.
+                        aggregates[index] = partial[index][receiver]
+                        awaiting_down[index] = {
+                            node for node, par in parent.items() if par is not None
+                        }
+                        if not awaiting_down[index]:
+                            per_part_done[index] = rounds
+                        for node, par in parent.items():
+                            if par == receiver:
+                                enqueue(
+                                    _Task(part=index, edge=(receiver, node), kind="down", child=node)
+                                )
+            else:  # down
+                sender, receiver = task.edge
+                awaiting_down[index].discard(receiver)
+                if not awaiting_down[index]:
+                    per_part_done[index] = rounds
+                for node, par in parents[index].items():
+                    if par == receiver:
+                        enqueue(_Task(part=index, edge=(receiver, node), kind="down", child=node))
+
+    # Single-vertex parts (and parts whose anchor component never produced a
+    # task) fall back to a direct fold over their members' values.
+    for index in range(num_parts):
+        if aggregates[index] is None:
+            members = part_set.members_of(index)
+            aggregate = value_of(members[0])
+            for member in members[1:]:
+                aggregate = combine(aggregate, value_of(member))
+            aggregates[index] = aggregate
+            per_part_done[index] = max(per_part_done[index], 0)
+
+    return AggregationResult(
+        values=aggregates,
+        rounds=rounds,
+        messages=messages,
+        per_part_rounds=per_part_done,
+    )
+
+
+def _partwise_aggregate_reference(
+    shortcut: Shortcut,
+    values: Mapping[Hashable, Value],
+    combine: Callable[[Value, Value], Value],
+    max_rounds: int,
+) -> AggregationResult:
+    """The preserved label-keyed scheduler (the pre-CoreGraph implementation).
+
+    Kept verbatim as the differential oracle behind
+    :func:`repro.core.networkx_reference_paths`: per-part ``nx`` augmented
+    subgraphs, label-keyed parent maps, and a full re-sort (and re-``repr``)
+    of every queue key each round -- exactly the seed's cost profile.
     """
     num_parts = shortcut.num_parts
     aggregates: list[Value] = [None] * num_parts
     per_part_done: list[int] = [0] * num_parts
 
     # Per-part aggregation trees and bookkeeping.
-    use_core = core_enabled()
     parents: list[dict[Hashable, Hashable | None]] = []
-    children_count: list[dict[Hashable, int]] = []
     pending_children: list[dict[Hashable, int]] = []
     partial: list[dict[Hashable, Value]] = []
     for index in range(num_parts):
@@ -157,19 +393,15 @@ def partwise_aggregate(
         for vertex in part:
             if vertex not in values:
                 raise SimulationError(f"no input value for vertex {vertex} of part {index}")
-        if use_core:
-            parent = _aggregation_tree_core(shortcut, index)
-        else:
-            augmented = shortcut.augmented_subgraph(index)
-            anchor = min(part, key=repr)
-            parent = _aggregation_tree(augmented, anchor)
+        augmented = shortcut.augmented_subgraph(index)
+        anchor = min(part, key=repr)
+        parent = _aggregation_tree(augmented, anchor)
         parents.append(parent)
         counts: dict[Hashable, int] = {node: 0 for node in parent}
         for node, par in parent.items():
             if par is not None:
                 counts[par] += 1
-        children_count.append(dict(counts))
-        pending_children.append(dict(counts))
+        pending_children.append(counts)
         partial.append(
             {
                 node: values[node] if node in part else None
@@ -178,14 +410,7 @@ def partwise_aggregate(
         )
 
     # Build the initial set of ready "up" tasks: leaves of each aggregation tree.
-    # Directed edges deliver in canonical (repr) order each round.  On the
-    # core path the schedule tracks only edges with queued tasks (with their
-    # repr computed once); the reference path re-sorts -- and re-reprs -- the
-    # full key set every round, exactly like the pre-CoreGraph implementation.
-    # Both visit the same non-empty queues in the same order.
     edge_queues: dict[DirectedEdge, deque[_Task]] = {}
-    active_edges: set[DirectedEdge] = set()
-    edge_key: dict[DirectedEdge, str] = {}
     outstanding = 0
 
     def enqueue(task: _Task) -> None:
@@ -193,11 +418,7 @@ def partwise_aggregate(
         queue = edge_queues.get(task.edge)
         if queue is None:
             queue = edge_queues[task.edge] = deque()
-            if use_core:
-                edge_key[task.edge] = repr(task.edge)
         queue.append(task)
-        if use_core:
-            active_edges.add(task.edge)
         outstanding += 1
 
     for index in range(num_parts):
@@ -217,18 +438,12 @@ def partwise_aggregate(
         rounds += 1
         delivered: list[_Task] = []
         # Each directed edge delivers at most one message per round.
-        if use_core:
-            schedule = sorted(active_edges, key=edge_key.__getitem__)
-        else:
-            schedule = sorted(edge_queues.keys(), key=repr)
-        for edge in schedule:
+        for edge in sorted(edge_queues.keys(), key=repr):
             queue = edge_queues[edge]
             if queue:
                 delivered.append(queue.popleft())
                 outstanding -= 1
                 messages += 1
-                if use_core and not queue:
-                    active_edges.discard(edge)
         for task in delivered:
             index = task.part
             parent = parents[index]

@@ -43,7 +43,7 @@ from typing import Callable, Hashable
 import networkx as nx
 
 from ..core import GraphView
-from ..errors import SimulationError
+from ..errors import InvalidGraphError, SimulationError
 from ..graphs.weights import WEIGHT
 from ..utils import require_connected, require_simple
 from .node import NodeContext, NodeProgram, message_size_in_words
@@ -154,8 +154,15 @@ class CongestSimulator:
     ) -> None:
         """Core mode: nodes are CSR indices, adjacency comes from flat slices."""
         core = view.core
+        # Same exception contract as label mode (require_connected): an empty
+        # or disconnected network is a *precondition* failure of the caller's
+        # input, so both modes raise InvalidGraphError with the same message;
+        # SimulationError stays reserved for illegal states detected while a
+        # simulation is running (bad sends, bandwidth, round budgets).
+        if core.num_nodes == 0:
+            raise InvalidGraphError("network graph is empty")
         if not core.is_connected():
-            raise SimulationError("network graph is empty or not connected")
+            raise InvalidGraphError("network graph is not connected")
         self.graph = view.graph
         n = core.num_nodes
         # Index order == repr order of the labels, so this *is* the canonical

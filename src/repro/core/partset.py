@@ -39,7 +39,7 @@ class PartSet:
 
     __slots__ = (
         "view",
-        "parts",
+        "_parts",
         "offsets",
         "members",
         "_owner",
@@ -53,13 +53,13 @@ class PartSet:
 
     def __init__(self, view: GraphView, parts: Sequence[frozenset]) -> None:
         self.view = view
-        self.parts: list[frozenset] = [
+        self._parts: list[frozenset] | None = [
             part if isinstance(part, frozenset) else frozenset(part) for part in parts
         ]
         index_of = view.index_of
         offsets = [0]
         members: list[int] = []
-        for part in self.parts:
+        for part in self._parts:
             try:
                 members.extend(sorted(index_of(node) for node in part))
             except KeyError as error:
@@ -80,14 +80,68 @@ class PartSet:
         self._seen_stamp: list[int] | None = None
         self._epoch = 0
 
+    @classmethod
+    def from_member_lists(
+        cls, view: GraphView, member_lists: Sequence[Sequence[int]]
+    ) -> "PartSet":
+        """Build a part set directly from per-part vertex *index* lists.
+
+        This is the construction boundary of the array-native algorithm
+        layer: the Boruvka fast path keeps its fragments as flat index lists
+        and never owns label frozensets -- the label :attr:`parts` of the
+        returned set are derived lazily (:meth:`label_parts`) and only if a
+        label-space consumer (a structural shortcut constructor, a
+        validator) actually asks.  Each member list is sorted in place of
+        the label path's ``sorted(index_of(node) ...)``; indices must be
+        valid for ``view`` (the caller's contract -- no validation pass).
+        """
+        part_set = cls.__new__(cls)
+        part_set.view = view
+        part_set._parts = None
+        offsets = [0]
+        members: list[int] = []
+        for member_list in member_lists:
+            members.extend(sorted(member_list))
+            offsets.append(len(members))
+        part_set.offsets = offsets
+        part_set.members = members
+        part_set._owner = None
+        part_set._tin_key = None
+        part_set._tin_views = None
+        part_set._member_stamp = None
+        part_set._seen_stamp = None
+        part_set._epoch = 0
+        return part_set
+
     # -- basic accessors ---------------------------------------------------
 
     @property
+    def parts(self) -> list[frozenset]:
+        """The label frozensets of the family (derived lazily from indices)."""
+        return self.label_parts()
+
+    def label_parts(self) -> list[frozenset]:
+        """Return (and cache) the parts as label frozensets.
+
+        For part sets built from label parts this is the original input; for
+        :meth:`from_member_lists` sets the labels are materialised on first
+        call -- the array-native algorithm layer never triggers it on its
+        hot path.
+        """
+        if self._parts is None:
+            node_of = self.view.nodes
+            self._parts = [
+                frozenset(node_of[member] for member in members)
+                for _, members in self.iter_members()
+            ]
+        return self._parts
+
+    @property
     def num_parts(self) -> int:
-        return len(self.parts)
+        return len(self.offsets) - 1
 
     def __len__(self) -> int:
-        return len(self.parts)
+        return len(self.offsets) - 1
 
     def size_of(self, part_index: int) -> int:
         return self.offsets[part_index + 1] - self.offsets[part_index]
@@ -98,7 +152,7 @@ class PartSet:
 
     def iter_members(self) -> Iterable[tuple[int, list[int]]]:
         """Yield ``(part_index, member_indices)`` for every part."""
-        for part_index in range(len(self.parts)):
+        for part_index in range(len(self.offsets) - 1):
             yield part_index, self.members_of(part_index)
 
     # -- derived structures ------------------------------------------------
@@ -170,7 +224,7 @@ class PartSet:
         return reached == len(members)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
-        return f"PartSet(parts={len(self.parts)}, members={len(self.members)})"
+        return f"PartSet(parts={self.num_parts}, members={len(self.members)})"
 
 
 def part_connected(view: GraphView, part: frozenset) -> bool:

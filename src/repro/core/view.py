@@ -10,9 +10,11 @@ package-wide canonical order, sorted by ``repr``), builds the CSR
 label form.  :func:`to_networkx` round-trips the view back into a
 standalone ``nx.Graph`` with the original labels and edge weights.
 
-:func:`view_of` memoises views per ``nx.Graph`` object (weakly, so graphs
-are not kept alive by the cache): a scenario sweep running several
-constructors and algorithms over one instance pays for a single conversion.
+:func:`view_of` memoises views per ``nx.Graph`` object -- the view is
+stored on the graph itself, so graph and view share one lifetime and
+neither outlives the other: a scenario sweep running several constructors
+and algorithms over one instance pays for a single conversion, and
+dropping the graph frees the view (and its CSR arrays) with it.
 
 The canonical repr-sorted order is load-bearing: index order then coincides
 with the ``sorted(..., key=repr)`` tie-breaking used throughout the
@@ -23,7 +25,6 @@ their results *exactly* (the differential tests in
 
 from __future__ import annotations
 
-import weakref
 from typing import Hashable
 
 import networkx as nx
@@ -133,12 +134,16 @@ class GraphView:
         return f"GraphView(n={self.number_of_nodes}, m={self.number_of_edges})"
 
 
-# One shared conversion per nx.Graph object.  Weak keys: dropping the graph
-# drops its view; weak values are unnecessary (the view references the graph,
-# not vice versa).  Graphs are treated as frozen once viewed -- every caller
-# in this package mutates weights *before* deriving structures, and the
-# scenario layer documents the convention.
-_VIEW_CACHE: "weakref.WeakKeyDictionary[nx.Graph, GraphView]" = weakref.WeakKeyDictionary()
+# One shared conversion per nx.Graph object.  The memo lives *on the graph
+# itself* (a plain instance attribute): the earlier weakly-keyed module cache
+# leaked every entry, because its value (the GraphView) strongly references
+# its key (the graph), so no viewed graph was ever collected.  Storing the
+# view on the graph makes the pair a plain reference cycle that the garbage
+# collector reclaims as one unit when the graph is dropped -- the same
+# lifetime discipline as ``GraphView._part_sets``.  Graphs are treated as
+# frozen once viewed -- every caller in this package mutates weights *before*
+# deriving structures, and the scenario layer documents the convention.
+_VIEW_ATTR = "_repro_graph_view"
 
 
 def view_of(graph: nx.Graph | GraphView) -> GraphView:
@@ -149,8 +154,8 @@ def view_of(graph: nx.Graph | GraphView) -> GraphView:
     """
     if isinstance(graph, GraphView):
         return graph
-    view = _VIEW_CACHE.get(graph)
+    view = getattr(graph, _VIEW_ATTR, None)
     if view is None:
         view = GraphView(graph)
-        _VIEW_CACHE[graph] = view
+        setattr(graph, _VIEW_ATTR, view)
     return view

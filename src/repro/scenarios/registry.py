@@ -223,11 +223,17 @@ class ConstructorSpec:
         The distributed algorithms re-invoke the builder once per phase with
         fresh parts; the closure pins the instance (and hence the structural
         witness) while letting the phase supply graph, tree and parts.
+
+        A spec whose ``build`` carries ``uses_engine`` (the oblivious
+        constructor) passes the flag through, so the array-native Boruvka
+        loop can drive the construction engine on its per-phase part sets
+        instead of materialising label fragments for the closure.
         """
 
         def build(graph: nx.Graph, tree: RootedTree, parts: Parts) -> Shortcut:
             return self.build(instance, tree, parts)
 
+        build.uses_engine = bool(getattr(self.build, "uses_engine", False))
         return build
 
 
@@ -281,11 +287,20 @@ register_constructor(ConstructorSpec(
     applicable=_always,
     build=lambda inst, tree, parts: steiner_shortcut(inst.graph, tree, parts),
 ))
+def _oblivious_build(inst: ScenarioInstance, tree: RootedTree, parts: Parts) -> Shortcut:
+    return oblivious_shortcut(inst.graph, tree, parts)
+
+
+# The array-native Boruvka loop recognises this flag and drives the
+# construction engine directly on its per-phase fragments; the result is
+# pinned identical to calling the builder (the engine differential tests).
+_oblivious_build.uses_engine = True
+
 register_constructor(ConstructorSpec(
     name="oblivious",
     description="structure-oblivious congestion-capped search (HIZ16a)",
     applicable=_always,
-    build=lambda inst, tree, parts: oblivious_shortcut(inst.graph, tree, parts),
+    build=_oblivious_build,
 ))
 register_constructor(ConstructorSpec(
     name="planar",

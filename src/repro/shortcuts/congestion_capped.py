@@ -151,6 +151,36 @@ def default_budget_schedule(num_parts: int) -> list[int]:
     return budgets
 
 
+def oblivious_sweep(
+    engine: ConstructionEngine, budgets: Sequence[int] | None = None
+) -> Shortcut:
+    """Run the doubling budget search on a prebuilt engine; return the winner.
+
+    This is the engine core of :func:`oblivious_shortcut`, split out so the
+    array-native Boruvka loop (:mod:`repro.algorithms.mst`) can drive it
+    with a per-phase :class:`~repro.core.PartSet` and a shared
+    :class:`~repro.shortcuts.engine.EngineScratch` without re-validating
+    parts it constructed itself.  The winner records both ``chosen_budget``
+    and ``chosen_quality`` (the sweep already priced it; re-measuring would
+    repeat the work).
+    """
+    if budgets is None:
+        budgets = default_budget_schedule(engine.num_parts)
+    qualities = engine.quality_sweep(budgets)
+    best_budget: int | None = None
+    best_quality: int | None = None
+    for budget in budgets:
+        quality = qualities[max(0, int(budget))]
+        if best_quality is None or quality < best_quality:
+            best_budget, best_quality = budget, quality
+    assert best_budget is not None
+    best = engine.build_shortcut(best_budget)
+    best.constructor = "oblivious"
+    best.chosen_budget = best_budget
+    best.chosen_quality = best_quality
+    return best
+
+
 def oblivious_shortcut(
     graph: nx.Graph,
     tree: RootedTree | None = None,
@@ -170,7 +200,8 @@ def oblivious_shortcut(
     engine prices every budget incrementally from the previous one (keep
     sets only grow with the budget) instead of building and measuring a
     fresh candidate per budget.  The returned shortcut records the winning
-    budget in ``chosen_budget``.
+    budget in ``chosen_budget`` and its priced quality in
+    ``chosen_quality``.
     """
     tree = tree if tree is not None else _spanning_tree(graph)
     validate_parts(graph, parts)
@@ -180,28 +211,19 @@ def oblivious_shortcut(
         budgets = default_budget_schedule(len(parts))
 
     if core_enabled():
-        engine = ConstructionEngine(graph, tree, parts)
-        qualities = engine.quality_sweep(budgets)
-        best_budget: int | None = None
-        best_quality: int | None = None
-        for budget in budgets:
-            quality = qualities[max(0, int(budget))]
-            if best_quality is None or quality < best_quality:
-                best_budget, best_quality = budget, quality
-        assert best_budget is not None
-        best = engine.build_shortcut(best_budget)
-    else:
-        best = None
-        best_budget = None
-        best_quality = None
-        for budget in budgets:
-            candidate = congestion_capped_shortcut(
-                graph, tree, parts, congestion_budget=budget, validate=False
-            )
-            quality = candidate.quality()
-            if best_quality is None or quality < best_quality:
-                best, best_budget, best_quality = candidate, budget, quality
-        assert best is not None
+        return oblivious_sweep(ConstructionEngine(graph, tree, parts), budgets)
+    best = None
+    best_budget = None
+    best_quality = None
+    for budget in budgets:
+        candidate = congestion_capped_shortcut(
+            graph, tree, parts, congestion_budget=budget, validate=False
+        )
+        quality = candidate.quality()
+        if best_quality is None or quality < best_quality:
+            best, best_budget, best_quality = candidate, budget, quality
+    assert best is not None
     best.constructor = "oblivious"
     best.chosen_budget = best_budget
+    best.chosen_quality = best_quality
     return best

@@ -39,13 +39,33 @@ family and part generator.
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence
+from typing import Sequence
 
 import networkx as nx
 
-from ..core import part_set_of, view_of
+from ..core import PartSet, part_set_of, view_of
 from ..structure.spanning import RootedTree
 from .shortcut import Shortcut
+
+
+class EngineScratch:
+    """Reusable size-``n`` work arrays for repeated engine builds over one view.
+
+    One :class:`ConstructionEngine` allocates three length-``n`` arrays for
+    its Steiner derivation.  Built once per construction that is fine; the
+    Boruvka fast path builds a fresh engine *per phase* over the same view,
+    so it threads one scratch through the whole run -- the epoch counter is
+    persistent, which makes re-use O(1) (no clearing pass between phases).
+    """
+
+    __slots__ = ("size", "mark_stamp", "member_stamp", "acc", "epoch")
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.mark_stamp = [0] * size  # ancestor-closure marking
+        self.member_stamp = [0] * size  # terminal membership
+        self.acc = [0] * size  # subtree terminal counts
+        self.epoch = 0
 
 
 class ConstructionEngine:
@@ -55,34 +75,60 @@ class ConstructionEngine:
     benefits and per-edge owner rankings once; :meth:`quality_sweep` then
     prices any set of budgets incrementally and :meth:`build_shortcut`
     materialises the pruned :class:`Shortcut` for one chosen budget.
+
+    The part family may be supplied either as label frozensets (``parts``)
+    or directly as an int-indexed :class:`~repro.core.PartSet`
+    (``part_set``); the Boruvka fast path uses the latter so per-phase
+    fragment families never round-trip through labels.  ``scratch`` is an
+    optional :class:`EngineScratch` shared across engines over the same
+    view (one allocation per MST run instead of one per phase).
     """
 
     def __init__(
         self,
         graph: nx.Graph,
         tree: RootedTree,
-        parts: Sequence[frozenset],
+        parts: Sequence[frozenset] | None = None,
+        part_set: PartSet | None = None,
+        scratch: EngineScratch | None = None,
     ) -> None:
         self.graph = graph
         self.tree = tree
-        self.parts: list[frozenset] = list(parts)
-        self.view = view_of(graph)
+        if part_set is not None:
+            self.part_set = part_set
+            self.view = part_set.view
+        else:
+            if parts is None:
+                raise TypeError("ConstructionEngine needs either parts or a part_set")
+            self.view = view_of(graph)
+            self.part_set = part_set_of(self.view, parts)
         self.euler = tree.euler_index(self.view)
-        self.part_set = part_set_of(self.view, self.parts)
+        if scratch is None or scratch.size != len(self.view):
+            scratch = EngineScratch(len(self.view))
+        self.scratch = scratch
         self._tree_diameter: int | None = None
         self._build_steiner_index()
         self._rank_owners()
+
+    @property
+    def parts(self) -> list[frozenset]:
+        """The family as label frozensets (lazy when built from a part set)."""
+        return self.part_set.label_parts()
+
+    @property
+    def num_parts(self) -> int:
+        return self.part_set.num_parts
 
     # -- budget-independent state -----------------------------------------
 
     def _build_steiner_index(self) -> None:
         """Compute per-part Steiner vertex/edge-id arrays and edge benefits."""
-        n = len(self.view)
         parent, tin = self.euler.parent, self.euler.tin
         members_by_tin = self.part_set.members_by_tin(self.euler)
-        mark_stamp = [0] * n  # ancestor-closure marking
-        member_stamp = [0] * n  # terminal membership
-        acc = [0] * n  # subtree terminal counts (reset via the kept list)
+        scratch = self.scratch
+        mark_stamp = scratch.mark_stamp  # ancestor-closure marking
+        member_stamp = scratch.member_stamp  # terminal membership
+        acc = scratch.acc  # subtree terminal counts (reset via the kept list)
 
         # Per part: Steiner vertex list, Steiner edge ids (child indices) and
         # the parallel benefit array.
@@ -90,7 +136,7 @@ class ConstructionEngine:
         self.steiner_edges: list[list[int]] = []
         self.benefits: list[list[int]] = []
 
-        epoch = 0
+        epoch = scratch.epoch
         for part_index, members in self.part_set.iter_members():
             epoch += 1
             marked: list[int] = []
@@ -129,6 +175,7 @@ class ConstructionEngine:
             self.steiner_nodes.append(kept)
             self.steiner_edges.append(edges)
             self.benefits.append(benefit)
+        scratch.epoch = epoch
 
     def _rank_owners(self) -> None:
         """Rank every tree edge's requesting parts by (benefit desc, index asc)."""
@@ -177,7 +224,7 @@ class ConstructionEngine:
         if not distinct:
             return {}
         diameter = self.tree_diameter()
-        sizes = [self.part_set.size_of(p) for p in range(len(self.parts))]
+        sizes = [self.part_set.size_of(p) for p in range(self.part_set.num_parts)]
 
         # (edge, part) pairs grouped by the rank at which the part wins the
         # edge: rank r is won exactly when the budget exceeds r.
@@ -242,7 +289,14 @@ class ConstructionEngine:
     # -- materialisation ---------------------------------------------------
 
     def build_shortcut(self, congestion_budget: int) -> Shortcut:
-        """Materialise the pruned :class:`Shortcut` for one budget."""
+        """Materialise the pruned :class:`Shortcut` for one budget.
+
+        The shortcut is built in index space -- per-part ``(child, parent)``
+        vertex-index pairs plus the engine's part set -- and derives its
+        canonical label edge sets lazily, so a consumer that stays on the
+        array-native path (the Boruvka fast loop, the indexed aggregation)
+        never pays for label materialisation.
+        """
         budget = max(0, int(congestion_budget))
         dropped: set[tuple[int, int]] = set()
         if budget < self.max_owner_count:
@@ -250,23 +304,24 @@ class ConstructionEngine:
                 if len(ranked) > budget:
                     for part in ranked[budget:]:
                         dropped.add((edge, part))
-        node_of = self.view.nodes
         parent = self.euler.parent
-        edge_sets: list[list[tuple[Hashable, Hashable]]] = []
+        core_edge_lists: list[list[tuple[int, int]]] = []
         for part_index, edges in enumerate(self.steiner_edges):
             if dropped:
                 kept = [
-                    (node_of[edge], node_of[parent[edge]])
+                    (edge, parent[edge])
                     for edge in edges
                     if (edge, part_index) not in dropped
                 ]
             else:
-                kept = [(node_of[edge], node_of[parent[edge]]) for edge in edges]
-            edge_sets.append(kept)
+                kept = [(edge, parent[edge]) for edge in edges]
+            core_edge_lists.append(kept)
         return Shortcut(
             graph=self.graph,
             tree=self.tree,
-            parts=self.parts,
-            edge_sets=edge_sets,
+            parts=None,
+            edge_sets=None,
             constructor=f"congestion_capped(c={budget})",
+            part_set=self.part_set,
+            core_edge_lists=core_edge_lists,
         )

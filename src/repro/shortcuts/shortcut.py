@@ -127,35 +127,112 @@ class Shortcut:
         graph: the network graph ``G``.
         tree: the rooted spanning tree ``T`` the shortcut is restricted to.
         parts: the parts ``P_1, ..., P_N`` (disjoint connected vertex sets).
+            May be ``None`` when ``part_set`` is given.
         edge_sets: for every part, the set of shortcut edges ``H_i`` in
-            canonical form.  ``H_i`` may be empty.
+            canonical form.  ``H_i`` may be empty.  May be ``None`` when
+            ``core_edge_lists`` is given.
         constructor: free-form name of the construction that produced the
             shortcut (recorded in experiment outputs).
+        part_set: optional int-indexed :class:`~repro.core.PartSet` of the
+            family.  When given, ``parts`` is ignored and the label
+            frozensets are derived lazily -- the array-native algorithm
+            layer hands per-phase Boruvka fragments through here without
+            ever materialising label sets on its hot path.
+        core_edge_lists: optional per-part lists of ``(u_index, v_index)``
+            shortcut edges over ``part_set.view``.  When given,
+            ``edge_sets`` may be ``None``; the canonical label edge sets are
+            derived lazily, and the CONGEST aggregation primitive consumes
+            the index pairs directly.
+
+    Label access (``shortcut.parts`` / ``shortcut.edge_sets``) always works
+    regardless of which representation the constructor supplied; the other
+    representation is derived on first use.  The differential tests pin both
+    derivations against the label-native reference constructions.
     """
 
     def __init__(
         self,
         graph: nx.Graph,
         tree: RootedTree,
-        parts: Sequence[frozenset],
-        edge_sets: Sequence[Iterable[Edge]],
+        parts: Sequence[frozenset] | None,
+        edge_sets: Sequence[Iterable[Edge]] | None,
         constructor: str = "unknown",
+        part_set=None,
+        core_edge_lists: Sequence[Sequence[tuple[int, int]]] | None = None,
     ) -> None:
-        if len(parts) != len(edge_sets):
-            raise InvalidShortcutError("need exactly one edge set per part")
         self.graph = graph
         self.tree = tree
-        self.parts: list[frozenset] = [frozenset(part) for part in parts]
+        self._part_set = part_set
+        if part_set is not None:
+            self._parts: list[frozenset] | None = None
+            num_parts = part_set.num_parts
+        else:
+            if parts is None:
+                raise InvalidShortcutError("need either parts or a part_set")
+            self._parts = [frozenset(part) for part in parts]
+            num_parts = len(self._parts)
+        self._core_edges = list(core_edge_lists) if core_edge_lists is not None else None
+        if edge_sets is not None:
+            self._raw_edge_sets: list[Iterable[Edge]] | None = list(edge_sets)
+            num_edge_sets = len(self._raw_edge_sets)
+        elif self._core_edges is not None:
+            self._raw_edge_sets = None
+            num_edge_sets = len(self._core_edges)
+        else:
+            raise InvalidShortcutError("need either edge_sets or core_edge_lists")
+        if num_parts != num_edge_sets:
+            raise InvalidShortcutError("need exactly one edge set per part")
+        self._edge_sets: list[frozenset[Edge]] | None = None
+        self.constructor = constructor
+        # Set by the budget-searching constructors (oblivious_shortcut) to the
+        # congestion budget that won the sweep (and the quality it was priced
+        # at); None for direct constructions.
+        self.chosen_budget: int | None = None
+        self.chosen_quality: int | None = None
+        self._tree_diameter: int | None = None
+
+    # -- lazy label representations ----------------------------------------
+
+    @property
+    def parts(self) -> list[frozenset]:
+        """The parts as label frozensets (derived from the part set if needed)."""
+        if self._parts is None:
+            self._parts = self._part_set.label_parts()
+        return self._parts
+
+    @property
+    def edge_sets(self) -> list[frozenset[Edge]]:
+        """The per-part canonical label edge sets (materialised on first use)."""
+        if self._edge_sets is None:
+            self._edge_sets = self._canonical_edge_sets()
+        return self._edge_sets
+
+    def _canonical_edge_sets(self) -> list[frozenset[Edge]]:
         # Canonicalisation is hoisted out of the per-edge loop: endpoint reprs
         # are memoised across all parts (shortcut edge sets overlap heavily on
         # tree edges), and empty edge sets skip the loop entirely.
         reprs: dict[Hashable, str] = {}
         _get = reprs.get
         _EMPTY: frozenset[Edge] = frozenset()
+        if self._raw_edge_sets is None:
+            node_of = self._part_set.view.nodes
+            return [
+                frozenset(
+                    (
+                        (node_of[a], node_of[b])
+                        if repr(node_of[a]) <= repr(node_of[b])
+                        else (node_of[b], node_of[a])
+                    )
+                    for a, b in pairs
+                )
+                if pairs
+                else _EMPTY
+                for pairs in self._core_edges
+            ]
         # Identity memo: constructors that give several parts the same edge-set
         # object (whole-tree, shared per-cell sets) keep that sharing through
         # canonicalisation, which the measurement dedup exploits.  The inputs
-        # stay alive in ``edge_sets`` for the duration, so ids are stable.
+        # stay alive in ``_raw_edge_sets`` for the duration, so ids are stable.
         canon_cache: dict[int, frozenset[Edge]] = {}
 
         def canonicalise(edges: Iterable[Edge]) -> frozenset[Edge]:
@@ -177,19 +254,26 @@ class Shortcut:
             canon_cache[id(edges)] = result
             return result
 
-        self.edge_sets: list[frozenset[Edge]] = [canonicalise(edges) for edges in edge_sets]
-        self.constructor = constructor
-        # Set by the budget-searching constructors (oblivious_shortcut) to the
-        # congestion budget that won the sweep; None for direct constructions.
-        self.chosen_budget: int | None = None
-        self._tree_edges = tree.edge_set()
-        self._tree_diameter: int | None = None
+        return [canonicalise(edges) for edges in self._raw_edge_sets]
+
+    def part_set(self):
+        """Return (and cache) the int-indexed :class:`~repro.core.PartSet`.
+
+        Engine-built shortcuts carry theirs from construction; label-built
+        shortcuts resolve one through the package-wide
+        :func:`~repro.core.part_set_of` memo on first use.
+        """
+        if self._part_set is None:
+            self._part_set = part_set_of(view_of(self.graph), self.parts)
+        return self._part_set
 
     # -- basic measures ---------------------------------------------------
 
     @property
     def num_parts(self) -> int:
-        return len(self.parts)
+        if self._parts is not None:
+            return len(self._parts)
+        return self._part_set.num_parts
 
     def tree_diameter(self) -> int:
         if self._tree_diameter is None:
@@ -280,14 +364,18 @@ class Shortcut:
         for set_id, part_indices in parts_by_set.items():
             edges = set_for_id[set_id]
             if not edges:
-                worst = max(worst, max(len(self.parts[i]) for i in part_indices))
+                part_set = part_set if part_set is not None else self.part_set()
+                worst = max(
+                    worst, max(part_set.size_of(i) for i in part_indices)
+                )
                 continue
             if union_find is None:
-                view = view_of(self.graph)
-                # The int-indexed member arrays are memoised per (view, parts),
-                # so every candidate shortcut in a sweep over the same part
-                # family shares one label-to-index conversion.
-                part_set = part_set_of(view, self.parts)
+                # The int-indexed member arrays are memoised per (view, parts)
+                # -- or carried from construction by the engine -- so every
+                # candidate shortcut in a sweep over the same part family
+                # shares one label-to-index conversion.
+                part_set = self.part_set()
+                view = part_set.view
                 union_find = _EpochUnionFind(len(view))
                 index_of = view.index_of
             union_find.reset()
@@ -397,7 +485,8 @@ class Shortcut:
 
     def is_tree_restricted(self) -> bool:
         """Return True iff every shortcut edge lies on the tree (Definition 10)."""
-        return all(edges <= self._tree_edges for edges in self.edge_sets)
+        tree_edges = self.tree.edge_set()
+        return all(edges <= tree_edges for edges in self.edge_sets)
 
     def validate(self, require_tree_restricted: bool = True) -> None:
         """Check structural sanity; raise :class:`InvalidShortcutError` on failure.
@@ -420,14 +509,15 @@ class Shortcut:
             seen |= part
             if not nx.is_connected(self.graph.subgraph(part)):
                 raise InvalidShortcutError(f"part {index} is not connected")
+        tree_edges = self.tree.edge_set()
         for index, edges in enumerate(self.edge_sets):
             for u, v in edges:
                 if not self.graph.has_edge(u, v):
                     raise InvalidShortcutError(
                         f"shortcut edge ({u}, {v}) of part {index} is not a graph edge"
                     )
-            if require_tree_restricted and not edges <= self._tree_edges:
-                bad = next(iter(edges - self._tree_edges))
+            if require_tree_restricted and not edges <= tree_edges:
+                bad = next(iter(edges - tree_edges))
                 raise InvalidShortcutError(
                     f"shortcut edge {bad} of part {index} is not a tree edge "
                     "(Definition 10 requires T-restriction)"

@@ -51,6 +51,10 @@ class RootedTree:
                 self.children[par].append(node)
         self._compute_depths()
         self._euler: EulerTourIndex | None = None
+        # Both caches are safe because the parent map is fixed after
+        # construction; the Boruvka fast path re-reads both every phase.
+        self._edge_set: frozenset[Edge] | None = None
+        self._diameter: int | None = None
 
     def _compute_depths(self) -> None:
         self.depth[self.root] = 0
@@ -80,7 +84,10 @@ class RootedTree:
         }
 
     def edge_set(self) -> frozenset[Edge]:
-        return frozenset(self.edges())
+        """Return (and cache) the canonical tree edges as a frozenset."""
+        if self._edge_set is None:
+            self._edge_set = frozenset(self.edges())
+        return self._edge_set
 
     @property
     def height(self) -> int:
@@ -108,13 +115,18 @@ class RootedTree:
         """Return the diameter (in hops) of the tree, at most twice the height.
 
         Double BFS over the parent/children maps -- exact on trees -- without
-        materialising an ``nx.Graph``.
+        materialising an ``nx.Graph``.  Cached: every Boruvka phase prices
+        its shortcut's quality against the same tree diameter.
         """
+        if self._diameter is not None:
+            return self._diameter
         if len(self.parent) <= 1:
+            self._diameter = 0
             return 0
         depths = self._bfs_depths(next(iter(self.parent)))
         far = max(depths.items(), key=lambda kv: kv[1])[0]
-        return max(self._bfs_depths(far).values())
+        self._diameter = max(self._bfs_depths(far).values())
+        return self._diameter
 
     def as_graph(self) -> nx.Graph:
         """Return the tree as a :class:`networkx.Graph`."""
@@ -487,9 +499,16 @@ def graph_diameter(graph: nx.Graph | GraphView, exact_threshold: int = 400) -> i
     if graph.number_of_nodes() <= exact_threshold:
         return nx.diameter(graph)
     start = min(graph.nodes(), key=repr)
-    far = max(nx.single_source_shortest_path_length(graph, start).items(), key=lambda kv: kv[1])[0]
-    lengths = nx.single_source_shortest_path_length(graph, far)
-    return max(lengths.values())
+    lengths = nx.single_source_shortest_path_length(graph, start)
+    # Far-vertex tie-break: the repr-smallest vertex at maximum distance.
+    # This is the same vertex the GraphView path picks (lowest index; index
+    # order is repr order), so both regimes of both paths agree exactly --
+    # the old "first max in BFS dict order" rule diverged from the CSR path
+    # above the exact threshold (ROADMAP open item, pinned by the
+    # differential test in tests/test_algorithms_core.py).
+    eccentricity = max(lengths.values())
+    far = min((v for v, d in lengths.items() if d == eccentricity), key=repr)
+    return max(nx.single_source_shortest_path_length(graph, far).values())
 
 
 def steiner_tree_edges(tree: RootedTree, terminals: Sequence[Hashable]) -> set[Edge]:
