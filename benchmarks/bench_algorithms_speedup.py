@@ -10,39 +10,24 @@ faster than the preserved seed implementations forced via
 arms producing identical results (MST edges/weight/rounds/phases/qualities,
 cut value/side/edges/rounds).  On this hardware the measured ratio is ~5-8x.
 
-Each run appends its record to ``benchmarks/BENCH_S5.json`` -- a trajectory
-of (size, speedup, rounds) entries so that speedup regressions are visible
-across commits, not just against the gate.
+Each run appends its record to ``benchmarks/BENCH_S5.json`` (see
+``conftest.append_trajectory``) -- a trajectory of (size, speedup, rounds)
+entries so that speedup regressions are visible across commits, not just
+against the gate.
 
 CI runs this file at a smaller side by setting ``S5_BENCH_SIDE`` and raises
 ``S5_BENCH_REPEATS``; both arms take the best of N runs, which keeps the
 ratio stable on noisy shared runners.
 """
 
-import json
 import os
 
-from conftest import run_experiment
+from conftest import append_trajectory, run_experiment
 
 from repro.analysis.experiments import experiment_algorithms_speedup
 
 SIDE = int(os.environ.get("S5_BENCH_SIDE", "30"))
 REPEATS = int(os.environ.get("S5_BENCH_REPEATS", "3"))
-TRAJECTORY_PATH = os.path.join(os.path.dirname(__file__), "BENCH_S5.json")
-
-
-def _append_trajectory(result: dict) -> None:
-    history: list[dict] = []
-    if os.path.exists(TRAJECTORY_PATH):
-        try:
-            with open(TRAJECTORY_PATH) as handle:
-                history = json.load(handle)
-        except (OSError, ValueError):
-            history = []
-    history.append(result)
-    with open(TRAJECTORY_PATH, "w") as handle:
-        json.dump(history, handle, indent=2, sort_keys=True)
-        handle.write("\n")
 
 
 def test_s5_algorithms_speedup(benchmark):
@@ -52,6 +37,6 @@ def test_s5_algorithms_speedup(benchmark):
         side=SIDE,
         repeats=REPEATS,
     )
-    _append_trajectory(result)
+    append_trajectory("S5", result)
     assert result["results_agree"]
     assert result["speedup"] >= 3.0

@@ -9,39 +9,24 @@ than the preserved seed implementation forced via
 arms producing the identical shortcut (edge sets, chosen budget, measured
 quality).  On this hardware the measured ratio is ~10-25x.
 
-Each run appends its record to ``benchmarks/BENCH_S4.json`` -- a trajectory
-of (size, speedup, chosen budget) entries so that speedup regressions are
-visible across commits, not just against the gate.
+Each run appends its record to ``benchmarks/BENCH_S4.json`` (see
+``conftest.append_trajectory``) -- a trajectory of (size, speedup, chosen
+budget) entries so that speedup regressions are visible across commits,
+not just against the gate.
 
 CI runs this file at a smaller side by setting ``S4_BENCH_SIDE`` and raises
 ``S4_BENCH_REPEATS``; both arms take the best of N runs, which keeps the
 ratio stable on noisy shared runners.
 """
 
-import json
 import os
 
-from conftest import run_experiment
+from conftest import append_trajectory, run_experiment
 
 from repro.analysis.experiments import experiment_construction_speedup
 
 SIDE = int(os.environ.get("S4_BENCH_SIDE", "30"))
 REPEATS = int(os.environ.get("S4_BENCH_REPEATS", "3"))
-TRAJECTORY_PATH = os.path.join(os.path.dirname(__file__), "BENCH_S4.json")
-
-
-def _append_trajectory(result: dict) -> None:
-    history: list[dict] = []
-    if os.path.exists(TRAJECTORY_PATH):
-        try:
-            with open(TRAJECTORY_PATH) as handle:
-                history = json.load(handle)
-        except (OSError, ValueError):
-            history = []
-    history.append(result)
-    with open(TRAJECTORY_PATH, "w") as handle:
-        json.dump(history, handle, indent=2, sort_keys=True)
-        handle.write("\n")
 
 
 def test_s4_construction_speedup(benchmark):
@@ -51,6 +36,6 @@ def test_s4_construction_speedup(benchmark):
         side=SIDE,
         repeats=REPEATS,
     )
-    _append_trajectory(result)
+    append_trajectory("S4", result)
     assert result["results_agree"]
     assert result["speedup"] >= 3.0

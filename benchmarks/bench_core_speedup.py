@@ -19,11 +19,14 @@ CI runs this file at a smaller n by setting ``CORE_BENCH_MST_SIDE`` /
 costs weigh on the core arm), so the smoke also raises
 ``CORE_BENCH_REPEATS`` -- both arms take the best of N runs, which keeps
 the ratio stable on noisy shared runners.
+
+Each run appends its record to ``benchmarks/BENCH_S3.json`` (see
+``conftest.append_trajectory``), like every other speedup gate.
 """
 
 import os
 
-from conftest import run_experiment
+from conftest import append_trajectory, run_experiment
 
 from repro.analysis.experiments import experiment_core_speedup
 
@@ -40,6 +43,7 @@ def test_s3_core_speedup(benchmark):
         quality_side=QUALITY_SIDE,
         repeats=REPEATS,
     )
+    append_trajectory("S3", result)
     assert result["quality"]["results_agree"]
     assert result["mst"]["results_agree"]
     assert result["quality"]["speedup"] >= 2.0

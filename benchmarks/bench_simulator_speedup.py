@@ -6,9 +6,12 @@ broadcast) must run at least 2x faster under the active-set simulator than
 under the seed-faithful full-scan :class:`ReferenceSimulator`, with both
 producing identical results.  On this hardware the measured ratio is ~10x
 for the simulated phases and ~2.5x for the whole MST run.
+
+Each run appends its record to ``benchmarks/BENCH_S2.json`` (see
+``conftest.append_trajectory``), like every other speedup gate.
 """
 
-from conftest import run_experiment
+from conftest import append_trajectory, run_experiment
 
 from repro.analysis.experiments import experiment_simulator_speedup
 
@@ -19,6 +22,7 @@ def test_s2_simulator_speedup(benchmark):
         experiment_simulator_speedup,
         side=45,
     )
+    append_trajectory("S2", result)
     assert result["n"] == 2025
     # Both simulators agree on every measured quantity (rounds, weights, ...).
     assert result["results_agree"]

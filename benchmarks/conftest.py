@@ -13,13 +13,22 @@ shortcuts from the constructor registry.  ``bench_scenarios.py`` runs the
 full family x constructor matrix through the engine's single entry point,
 and ``bench_simulator_speedup.py`` gates the active-set simulator's >=2x
 speedup over the seed full-scan implementation.
+
+Every ``bench_*_speedup.py`` gate appends its record to a
+``benchmarks/BENCH_S<k>.json`` trajectory file through
+:func:`append_trajectory`, so speedup regressions are visible across
+commits (not just against the gate) from the very first run after a fresh
+clone.  The trajectory files are gitignored.
 """
 
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 
 
 def run_experiment(benchmark, function, **kwargs):
@@ -28,3 +37,23 @@ def run_experiment(benchmark, function, **kwargs):
     print()
     print(json.dumps(result, indent=2, default=str))
     return result
+
+
+def append_trajectory(name: str, result: dict) -> None:
+    """Append ``result`` to ``benchmarks/BENCH_<name>.json``.
+
+    The file holds a JSON list, one record per benchmark run; an unreadable
+    or missing file starts a fresh trajectory rather than failing the gate.
+    """
+    path = os.path.join(_BENCH_DIR, f"BENCH_{name}.json")
+    history: list[dict] = []
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                history = json.load(handle)
+        except (OSError, ValueError):
+            history = []
+    history.append(result)
+    with open(path, "w") as handle:
+        json.dump(history, handle, indent=2, sort_keys=True)
+        handle.write("\n")

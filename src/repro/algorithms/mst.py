@@ -24,6 +24,16 @@ distributed construction of HIZ16a takes ``O~(q)`` rounds, the same order as
 one aggregation, so charging it would only change constants; DESIGN.md
 records this simplification.
 
+The per-phase aggregations are simulated at the message-schedule level
+(they never instantiate node programs), so they are identical under every
+simulator mode.  The *node-program* phases of the ``mst`` scenario
+workload -- the BFS-tree construction before the Boruvka loop and the
+result broadcast after it -- are what the simulator's execution modes
+accelerate: under ``run_scenario(..., runtime=True)`` they run on the
+vectorized batch programs of :mod:`repro.congest.runtime` with exactly
+the same rounds, messages and telemetry (``docs/simulator.md``; the S6
+benchmark gates the speedup).
+
 Dual-path contract
 ------------------
 

@@ -31,8 +31,9 @@ from ..algorithms.mst_baselines import (
     paper_reference_rounds,
 )
 from ..congest.reference import ReferenceSimulator
+from ..congest.runtime import RuntimeSimulator
 from ..congest.simulator import CongestSimulator
-from ..core import networkx_reference_paths
+from ..core import networkx_reference_paths, view_of
 from ..graphs.apex_vortex import build_almost_embeddable
 from ..graphs.clique_sum import clique_sum_compose
 from ..graphs.minor_free import perturbed_planar_graph
@@ -647,6 +648,76 @@ def experiment_simulator_speedup(
         "results_agree": agree,
         "sim_speedup": reference["sim_seconds"] / max(active["sim_seconds"], 1e-9),
         "total_speedup": reference["total_seconds"] / max(active["total_seconds"], 1e-9),
+    }
+
+
+def experiment_runtime_speedup(
+    side: int = 30, seed: int = 19, constructor: str = "empty", repeats: int = 3
+) -> dict:
+    """S6 -- vectorized runtime versus the per-node core mode on a grid MST.
+
+    Runs the same MST scenario (simulated BFS-tree construction, Boruvka
+    phases, simulated result broadcast) on a ``side x side`` grid twice:
+    once under the per-node active-set :class:`CongestSimulator` in core
+    mode (the previous fastest mode) and once under the vectorized
+    :class:`~repro.congest.runtime.RuntimeSimulator`, whose compiled batch
+    programs advance whole frontiers per round on flat arrays.  Both arms
+    must agree on *every* measured quantity -- MST rounds/phases/weight and
+    the full simulated-phase telemetry (rounds, messages, words, peak
+    active nodes, active-node-rounds) -- and the record reports the
+    wall-clock ratio of the end-to-end simulated phases (``sim_seconds``,
+    best of ``repeats`` per arm), which
+    ``benchmarks/bench_runtime_speedup.py`` gates at >=3x.
+    """
+    cache = InstanceCache()
+    # Warm the shared cache (instance, spanning tree, weighted copy and its
+    # GraphView) so neither timed arm pays for one-off derivations.
+    warm = build_instance("planar", {"side": side}, seed=seed, cache=cache)
+    view_of(warm.weighted_graph(seed))
+    scenario = Scenario(
+        name=f"planar/{constructor}/mst",
+        family="planar",
+        constructor=constructor,
+        algorithm="mst",
+        params={"side": side},
+        seed=seed,
+    )
+
+    def run(simulator_cls) -> dict:
+        best: dict | None = None
+        for _ in range(max(1, repeats)):
+            started = time.perf_counter()
+            record = run_scenario(scenario, cache=cache, simulator_cls=simulator_cls)
+            total = time.perf_counter() - started
+            result = dict(record.as_dict()["result"])
+            result["total_seconds"] = total
+            if best is None or result["sim_seconds"] < best["sim_seconds"]:
+                best = result
+        return best
+
+    core = run(CongestSimulator)
+    runtime = run(RuntimeSimulator)
+    telemetry_keys = (
+        "mst_rounds",
+        "mst_phases",
+        "mst_weight",
+        "sim_rounds",
+        "sim_messages",
+        "sim_words",
+        "sim_peak_active_nodes",
+        "sim_active_node_rounds",
+    )
+    agree = all(core[key] == runtime[key] for key in telemetry_keys)
+    report_keys = ("mst_rounds", "sim_rounds", "sim_seconds", "total_seconds")
+    return {
+        "experiment": "S6-runtime-speedup",
+        "n": side * side,
+        "constructor": constructor,
+        "runtime": {key: runtime[key] for key in report_keys},
+        "core": {key: core[key] for key in report_keys},
+        "results_agree": agree,
+        "sim_speedup": core["sim_seconds"] / max(runtime["sim_seconds"], 1e-9),
+        "total_speedup": core["total_seconds"] / max(runtime["total_seconds"], 1e-9),
     }
 
 

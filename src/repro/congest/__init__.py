@@ -10,20 +10,34 @@ Two levels of simulation are provided:
 * :mod:`repro.congest.simulator` runs genuine per-node message-passing
   programs (:class:`repro.congest.node.NodeProgram`) round by round with
   bandwidth enforcement -- used for the basic primitives (BFS tree
-  construction, flooding, convergecast) and for tests that pin down the
-  model's semantics;
+  construction, flooding, broadcast, convergecast) and for tests that pin
+  down the model's semantics;
 * :mod:`repro.congest.aggregation` simulates the *part-wise aggregation*
   primitive of the shortcut framework at the message-schedule level: every
   part aggregates over ``G[P_i] + H_i`` and edges shared by several parts
   deliver one message per round per direction, so the measured round count
   directly reflects the congestion + dilation of the shortcut.  This is the
   primitive Theorem 1 invokes ``O(log n)`` times per Boruvka phase.
+
+The node-program level runs in three execution modes with one equality
+contract (rounds, messages, words, outputs and per-round telemetry all
+exactly equal -- see ``docs/simulator.md``): the full-scan
+:class:`ReferenceSimulator` (the seed oracle), the active-set
+:class:`CongestSimulator` (label or core submode), and the vectorized
+:class:`RuntimeSimulator` (compiled batch programs over flat arrays,
+:mod:`repro.congest.runtime`).
 """
 
 from .node import NodeContext, NodeProgram
 from .simulator import CongestSimulator, RoundTelemetry, SimulationResult
 from .reference import ReferenceSimulator
-from .primitives import broadcast_value, distributed_bfs_tree, flood_max_id
+from .runtime import RuntimeProgram, RuntimeSimulator
+from .primitives import (
+    broadcast_value,
+    convergecast_aggregate,
+    distributed_bfs_tree,
+    flood_max_id,
+)
 from .aggregation import AggregationResult, partwise_aggregate
 
 __all__ = [
@@ -33,8 +47,11 @@ __all__ = [
     "NodeProgram",
     "ReferenceSimulator",
     "RoundTelemetry",
+    "RuntimeProgram",
+    "RuntimeSimulator",
     "SimulationResult",
     "broadcast_value",
+    "convergecast_aggregate",
     "distributed_bfs_tree",
     "flood_max_id",
     "partwise_aggregate",

@@ -19,6 +19,13 @@ greedy FIFO schedule is used; optimal scheduling is NP-hard but within
 ``O(congestion + dilation)`` of the greedy one, so the measured shape is the
 one the theory predicts.
 
+This schedule-level simulation sits *beside* the node-program simulator
+and its three execution modes (``docs/simulator.md``): the single-tree
+convergecast that does run as node programs is
+:func:`repro.congest.primitives.convergecast_aggregate`; this module is
+the many-parts, shared-edges generalisation whose round counts realise the
+quality -> rounds argument of Theorem 1.
+
 Two entry points share one core scheduler:
 
 * :func:`partwise_aggregate` -- the label-keyed public primitive: ``values``

@@ -7,6 +7,14 @@ messages (at most one per neighbour, each at most ``bandwidth_words`` machine
 words) it wants to send this round.  A node that has nothing left to do
 declares itself halted; the simulation ends when every node has halted and no
 messages are in flight.
+
+Everything here serves the two *per-node* execution modes (the full-scan
+reference and the active-set simulator, in label or core space); the
+vectorized runtime mode never instantiates node programs -- it runs the
+compiled batch twins of :mod:`repro.congest.runtime`, which must reproduce
+these semantics observationally (``docs/simulator.md``).  Only
+:func:`message_size_in_words` is shared by all three modes, so word
+accounting cannot drift between them.
 """
 
 from __future__ import annotations
@@ -89,7 +97,13 @@ class NodeProgram:
         self.halted = False
 
     def on_start(self) -> dict[Hashable, object]:
-        """Return the messages to send in round 1 (before anything is received)."""
+        """Return the messages to send in round 1 (before anything is received).
+
+        Invariants callers may rely on: every program's ``on_start`` runs
+        exactly once, in canonical node order, and counts as round 1 in the
+        telemetry whether or not anything is sent.  A program that halts
+        here sleeps until a message wakes it (halting never loses mail).
+        """
         return {}
 
     def on_round(self, round_number: int, inbox: dict[Hashable, object]) -> dict[Hashable, object]:
@@ -101,6 +115,12 @@ class NodeProgram:
 
         Returns:
             Mapping neighbour -> message to send this round (may be empty).
+
+        Invariants callers may rely on: ``on_round`` is invoked exactly for
+        the active set (nodes with mail plus never-halted nodes), in
+        canonical node order; messages returned are validated against the
+        topology and bandwidth before queueing; a message sent in round
+        ``r`` is delivered at the start of round ``r + 1``.
         """
         self.halted = True
         return {}

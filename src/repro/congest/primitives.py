@@ -8,25 +8,42 @@ Running them through the real simulator keeps the model honest -- the tests
 check both their outputs and their ``O(D)`` round counts.
 
 Every primitive accepts a ``simulator_cls`` so that callers (the scenario
-engine, the differential tests, the speedup benchmark) can run the same
-node programs under the active-set :class:`CongestSimulator` or the
-full-scan :class:`repro.congest.reference.ReferenceSimulator` -- and a
-``graph`` that is either an ``nx.Graph`` or a
-:class:`repro.core.GraphView`.  Given a view the simulation runs in core
-mode (integer node ids over CSR slices); the primitives translate the
-caller-facing labels at the boundary (the root argument in, parent
-pointers and leaders out), so results are label-identical either way.
+engine, the differential tests, the speedup benchmarks) can run the same
+node programs under any of the three execution modes -- the active-set
+:class:`CongestSimulator`, the full-scan
+:class:`repro.congest.reference.ReferenceSimulator`, or the vectorized
+:class:`repro.congest.runtime.RuntimeSimulator` -- and a ``graph`` that is
+either an ``nx.Graph`` or a :class:`repro.core.GraphView`.  Given a view
+the simulation runs in core mode (integer node ids over CSR slices); the
+primitives translate the caller-facing labels at the boundary (the root
+argument in, parent pointers and leaders out), so results are
+label-identical either way.
+
+Each primitive's program factory is a small class that builds the per-node
+:class:`NodeProgram` when called with a context *and* carries the
+``compile_runtime`` hook the runtime mode asks for -- the hook returns the
+program family's batch twin from :mod:`repro.congest.runtime`.  The
+per-node class stays the semantic definition; the compiled twin must
+reproduce it exactly (see ``docs/simulator.md`` for the contract).
 """
 
 from __future__ import annotations
 
-from typing import Hashable
+from typing import Callable, Hashable, Mapping
 
 import networkx as nx
 
 from ..core import GraphView
+from ..errors import InvalidGraphError, SimulationError
 from ..structure.spanning import RootedTree
 from .node import NodeContext, NodeProgram
+from .runtime import (
+    BfsRuntime,
+    BroadcastRuntime,
+    ConvergecastRuntime,
+    FloodMaxRuntime,
+    RuntimeProgram,
+)
 from .simulator import CongestSimulator, SimulationResult
 
 
@@ -73,6 +90,26 @@ class _BfsProgram(NodeProgram):
         return self.parent
 
 
+class _BfsFactory:
+    """Factory for :class:`_BfsProgram` with its vectorized twin.
+
+    ``root`` is already in program id space (an index in core/runtime mode,
+    a label otherwise) -- :func:`distributed_bfs_tree` converts at the
+    boundary.
+    """
+
+    __slots__ = ("root",)
+
+    def __init__(self, root: Hashable) -> None:
+        self.root = root
+
+    def __call__(self, context: NodeContext) -> NodeProgram:
+        return _BfsProgram(context, self.root)
+
+    def compile_runtime(self, simulator: CongestSimulator) -> RuntimeProgram:
+        return BfsRuntime(simulator._view, simulator.bandwidth_words, self.root)
+
+
 def distributed_bfs_tree(
     graph: nx.Graph | GraphView,
     root: Hashable,
@@ -86,11 +123,13 @@ def distributed_bfs_tree(
 
     ``root`` is always a node *label*; in core mode the primitive converts it
     to an index on the way in and maps the parent pointers back to labels on
-    the way out, so the returned tree is label-keyed either way.
+    the way out, so the returned tree is label-keyed either way.  Runs under
+    all three simulator modes (``simulator_cls``); the runtime mode requires
+    ``graph`` to be a :class:`~repro.core.GraphView`.
     """
     view = graph if isinstance(graph, GraphView) else None
     program_root = root if view is None else view.index_of(root)
-    simulator = simulator_cls(graph, lambda ctx: _BfsProgram(ctx, program_root))
+    simulator = simulator_cls(graph, _BfsFactory(program_root))
     result = simulator.run()
     if view is None:
         parent = {node: output for node, output in result.outputs.items()}
@@ -135,6 +174,18 @@ class _FloodMaxProgram(NodeProgram):
         return self.best
 
 
+class _FloodMaxFactory:
+    """Factory for :class:`_FloodMaxProgram` with its vectorized twin."""
+
+    __slots__ = ()
+
+    def __call__(self, context: NodeContext) -> NodeProgram:
+        return _FloodMaxProgram(context)
+
+    def compile_runtime(self, simulator: CongestSimulator) -> RuntimeProgram:
+        return FloodMaxRuntime(simulator._view, simulator.bandwidth_words)
+
+
 def flood_max_id(
     graph: nx.Graph | GraphView,
     simulator_cls: type[CongestSimulator] = CongestSimulator,
@@ -142,9 +193,10 @@ def flood_max_id(
     """Elect the maximum-id node as the leader by flooding; return (leader, stats).
 
     In core mode the elected maximum *index* is the maximum-repr label (index
-    order is repr order), returned in label form.
+    order is repr order), returned in label form.  Runs under all three
+    simulator modes; the runtime mode requires a view.
     """
-    simulator = simulator_cls(graph, _FloodMaxProgram)
+    simulator = simulator_cls(graph, _FloodMaxFactory())
     result = simulator.run()
     leaders = set(result.outputs.values())
     if len(leaders) != 1:
@@ -194,6 +246,27 @@ class _BroadcastProgram(NodeProgram):
         return self.value
 
 
+class _BroadcastFactory:
+    """Factory for :class:`_BroadcastProgram` with its vectorized twin.
+
+    ``source`` is in program id space, like :class:`_BfsFactory`'s root.
+    """
+
+    __slots__ = ("source", "value")
+
+    def __init__(self, source: Hashable, value: object) -> None:
+        self.source = source
+        self.value = value
+
+    def __call__(self, context: NodeContext) -> NodeProgram:
+        return _BroadcastProgram(context, self.source, self.value)
+
+    def compile_runtime(self, simulator: CongestSimulator) -> RuntimeProgram:
+        return BroadcastRuntime(
+            simulator._view, simulator.bandwidth_words, self.source, self.value
+        )
+
+
 def broadcast_value(
     graph: nx.Graph | GraphView,
     source: Hashable,
@@ -206,16 +279,162 @@ def broadcast_value(
     phase of the distributed algorithms as a genuine simulated execution.
     The returned outputs map every node to the received value, which the
     callers assert for correctness.  ``source`` is a label; in core mode it
-    is converted to an index at the boundary.
+    is converted to an index at the boundary.  Runs under all three
+    simulator modes; the runtime mode requires a view.
     """
     program_source = (
         graph.index_of(source) if isinstance(graph, GraphView) else source
     )
-    simulator = simulator_cls(
-        graph, lambda ctx: _BroadcastProgram(ctx, program_source, value)
-    )
+    simulator = simulator_cls(graph, _BroadcastFactory(program_source, value))
     result = simulator.run()
     wrong = [node for node, output in result.outputs.items() if output != value]
     if wrong:
         raise RuntimeError(f"broadcast did not reach nodes {wrong[:5]}")
     return result
+
+
+class _ConvergecastProgram(NodeProgram):
+    """Aggregate values up a rooted spanning tree (tree convergecast).
+
+    The upward half of the classic broadcast-and-echo: every node knows its
+    tree parent and its number of children (state left behind by the BFS
+    build phase, as in Boruvka's merge coordination); leaves report
+    ``("cc", value)`` immediately, an internal node folds each child report
+    into its accumulator -- in ascending child-id order, so non-commutative
+    ``combine``s are deterministic -- and reports upward the round its last
+    child arrives.  All waiting is mail-driven (nodes halt, the simulator
+    wakes them on delivery), so the active set per round is exactly the set
+    of nodes receiving reports.
+    """
+
+    def __init__(
+        self,
+        context: NodeContext,
+        parent: Hashable | None,
+        num_children: int,
+        value: object,
+        combine: Callable[[object, object], object],
+    ) -> None:
+        super().__init__(context)
+        self.parent = parent
+        self.remaining = num_children
+        self.acc = value
+        self.combine = combine
+        self.aggregate: object | None = None
+
+    def on_start(self) -> dict[Hashable, object]:
+        self.halted = True  # all waiting is mail-driven
+        if self.remaining:
+            return {}
+        if self.parent is None:  # single-node tree: the root is a leaf
+            self.aggregate = self.acc
+            return {}
+        return {self.parent: ("cc", self.acc)}
+
+    def on_round(self, round_number: int, inbox: dict[Hashable, object]) -> dict[Hashable, object]:
+        self.halted = True
+        id_key = self.context.id_key
+        for sender in sorted(inbox, key=id_key):
+            self.acc = self.combine(self.acc, inbox[sender][1])
+            self.remaining -= 1
+        if self.remaining:
+            return {}
+        if self.parent is None:
+            self.aggregate = self.acc
+            return {}
+        return {self.parent: ("cc", self.acc)}
+
+    def result(self) -> object:
+        return self.aggregate
+
+
+class _ConvergecastFactory:
+    """Factory for :class:`_ConvergecastProgram` with its vectorized twin.
+
+    ``parent`` / ``num_children`` / ``values`` are keyed by program id
+    (indices in core/runtime mode, labels otherwise);
+    :func:`convergecast_aggregate` converts at the boundary.
+    """
+
+    __slots__ = ("parent", "num_children", "values", "combine")
+
+    def __init__(
+        self,
+        parent: Mapping[Hashable, Hashable | None],
+        num_children: Mapping[Hashable, int],
+        values: Mapping[Hashable, object],
+        combine: Callable[[object, object], object],
+    ) -> None:
+        self.parent = parent
+        self.num_children = num_children
+        self.values = values
+        self.combine = combine
+
+    def __call__(self, context: NodeContext) -> NodeProgram:
+        node = context.node
+        return _ConvergecastProgram(
+            context,
+            self.parent[node],
+            self.num_children[node],
+            self.values[node],
+            self.combine,
+        )
+
+    def compile_runtime(self, simulator: CongestSimulator) -> RuntimeProgram:
+        view = simulator._view
+        n = len(view.nodes)
+        parent = [-1] * n
+        values = [None] * n
+        for node, up in self.parent.items():
+            parent[node] = -1 if up is None else up
+            values[node] = self.values[node]
+        return ConvergecastRuntime(
+            view, simulator.bandwidth_words, parent, values, self.combine
+        )
+
+
+def convergecast_aggregate(
+    graph: nx.Graph | GraphView,
+    tree: RootedTree,
+    values: Mapping[Hashable, object],
+    combine: Callable[[object, object], object] = min,
+    simulator_cls: type[CongestSimulator] = CongestSimulator,
+) -> tuple[object, SimulationResult]:
+    """Aggregate ``values`` up ``tree`` to its root; return (aggregate, stats).
+
+    The convergecast half of the aggregation primitive the shortcut
+    framework accelerates (Theorem 1), run as a genuine node-program
+    execution over the network: the root learns
+    ``combine(values...)`` after ``O(tree height)`` rounds with exactly one
+    message per tree edge.  ``tree`` must span ``graph`` (its edges are
+    network edges, so the simulator's topology enforcement applies) and
+    ``values`` must cover every node; ``combine`` must be associative but
+    may be non-commutative/non-exact (folding order is pinned to ascending
+    child id, identically in all three simulator modes).
+    """
+    view = graph if isinstance(graph, GraphView) else None
+    num_nodes = len(view) if view is not None else graph.number_of_nodes()
+    if len(tree.parent) != num_nodes:
+        raise InvalidGraphError("convergecast needs a spanning tree of the network")
+    missing = [node for node in tree.parent if node not in values]
+    if missing:
+        raise SimulationError(f"no input value for vertex {missing[0]}")
+    if view is None:
+        parent = dict(tree.parent)
+        num_children = {node: len(tree.children[node]) for node in tree.parent}
+        node_values = {node: values[node] for node in tree.parent}
+    else:
+        index_of = view.index_of
+        parent = {}
+        num_children = {}
+        node_values = {}
+        for node, up in tree.parent.items():
+            index = index_of(node)
+            parent[index] = None if up is None else index_of(up)
+            num_children[index] = len(tree.children[node])
+            node_values[index] = values[node]
+    factory = _ConvergecastFactory(parent, num_children, node_values, combine)
+    simulator = simulator_cls(graph, factory)
+    result = simulator.run()
+    aggregate = result.outputs[tree.root]
+    return aggregate, result

@@ -16,6 +16,15 @@ bit-for-bit comparable with the active-set simulator's.  The differential
 tests in ``tests/test_congest_simulator.py`` assert exactly that equality,
 and ``benchmarks/bench_simulator_speedup.py`` uses this class as the
 baseline the active-set rewrite is measured against.
+
+In the three-mode taxonomy of ``docs/simulator.md`` this is the
+**reference** mode: the slowest engine, the simplest code, and therefore
+the anchor of the equality contract -- the active-set mode is pinned to
+it on arbitrary node programs, and the vectorized runtime is pinned to
+both on every compiled program family (``tests/test_runtime.py``).  It
+accepts a :class:`~repro.core.GraphView` like the active-set simulator
+(full-scan semantics, core-mode ids), so all three modes can be compared
+on one network object.
 """
 
 from __future__ import annotations

@@ -33,6 +33,17 @@ result's ``outputs`` by the original labels either way; callers whose
 programs emit node ids in their results (e.g. BFS parent pointers) map
 those values back through ``view.node_of`` -- see
 :func:`repro.congest.primitives.distributed_bfs_tree`.
+
+The third mode is the **vectorized runtime** (``runtime=True``, or the
+:class:`repro.congest.runtime.RuntimeSimulator` convenience subclass):
+instead of one Python call per active node per round, the built-in node
+programs are compiled into whole-network batch step functions
+(:mod:`repro.congest.runtime`) that advance a round with flat-array
+operations.  Rounds, messages, words, outputs and per-round telemetry are
+*exactly* equal to the per-node modes -- the model semantics live in the
+per-node loop below, which stays the differential oracle for the compiled
+programs.  ``docs/simulator.md`` documents the model and the three-mode
+equality contract.
 """
 
 from __future__ import annotations
@@ -118,11 +129,16 @@ class CongestSimulator:
         program_factory: Callable[[NodeContext], NodeProgram],
         bandwidth_words: int = 3,
         diameter_bound: int | None = None,
+        runtime: bool = False,
     ) -> None:
         self._view: GraphView | None = graph if isinstance(graph, GraphView) else None
         self.bandwidth_words = bandwidth_words
         self._diameter_bound = diameter_bound
         self.programs: dict[Hashable, NodeProgram] = {}
+        self._runtime_program = None
+        if runtime:
+            self._init_runtime(program_factory)
+            return
         if self._view is not None:
             self._init_core(self._view, program_factory)
             return
@@ -188,6 +204,42 @@ class CongestSimulator:
             self.programs[node] = program_factory(context)
         self._neighbour_sets = neighbour_sets
 
+    def _init_runtime(self, program_factory) -> None:
+        """Runtime mode: no per-node programs; one compiled batch program.
+
+        The network must already be a :class:`repro.core.GraphView` -- the
+        batch programs are index-native and their outputs are mapped back
+        to labels through the view, exactly like core mode.  Construction
+        performs the same empty/disconnected precondition checks as
+        :meth:`_init_core` (and raises the same
+        :class:`~repro.errors.InvalidGraphError`), then asks the factory
+        for its compiled twin via the ``compile_runtime`` hook attached by
+        :mod:`repro.congest.primitives`.
+        """
+        view = self._view
+        if view is None:
+            raise InvalidGraphError(
+                "the vectorized runtime needs a GraphView network; wrap the graph "
+                "with repro.core.view_of (the per-node modes accept nx.Graph)"
+            )
+        core = view.core
+        if core.num_nodes == 0:
+            raise InvalidGraphError("network graph is empty")
+        if not core.is_connected():
+            raise InvalidGraphError("network graph is not connected")
+        self.graph = view.graph
+        self._order = list(range(core.num_nodes))
+        self._rank = None
+        self._sort_key = None
+        self._neighbour_sets = None
+        compile_hook = getattr(program_factory, "compile_runtime", None)
+        if compile_hook is None:
+            raise SimulationError(
+                f"program factory {program_factory!r} has no vectorized runtime "
+                "(no compile_runtime hook); run it under the per-node modes instead"
+            )
+        self._runtime_program = compile_hook(self)
+
     def _resolve_diameter_bound(self) -> int:
         if self._diameter_bound is None:
             if self._view is not None:
@@ -232,7 +284,14 @@ class CongestSimulator:
         return {node: programs[node].result() for node in self._order}
 
     def run(self, max_rounds: int = 10_000) -> SimulationResult:
-        """Run the simulation to quiescence (all halted, no messages in flight)."""
+        """Run the simulation to quiescence (all halted, no messages in flight).
+
+        In runtime mode the compiled batch program drives the loop instead;
+        the returned :class:`SimulationResult` is exactly equal either way
+        (the equality contract in ``docs/simulator.md``).
+        """
+        if self._runtime_program is not None:
+            return self._runtime_program.drive(max_rounds)
         programs = self.programs
         sort_key = self._sort_key
         # pending maps recipient -> {sender: message}; inbox dicts are created

@@ -5,10 +5,16 @@ The sweep is filterable along all three registry axes (``--families``,
 with ``--jobs N``; records are always emitted in the same deterministic
 (family x constructor x algorithm) order regardless of ``--jobs``.
 
+``--simulator`` selects the execution mode for the simulated phases of the
+``mst`` workload (``active`` per-node active-set, ``reference`` full-scan
+oracle, ``runtime`` vectorized batch programs); records are identical
+across modes, only the wall-clock differs.
+
 Examples::
 
     python -m repro.scenarios --list
     python -m repro.scenarios --size tiny
+    python -m repro.scenarios --families planar --algorithms mst --simulator runtime
     python -m repro.scenarios --families planar apex --constructors oblivious steiner \
         --algorithms quality mst --seed 3 --jobs 4 --output records.json
 """
@@ -19,6 +25,9 @@ import argparse
 import json
 import sys
 
+from ..congest.reference import ReferenceSimulator
+from ..congest.runtime import RuntimeSimulator
+from ..congest.simulator import CongestSimulator
 from .engine import run_matrix, scenario_matrix
 from .instances import InstanceCache
 from .registry import (
@@ -72,6 +81,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--jobs", type=int, default=1, help="worker processes for the sweep (1 = serial)"
     )
+    parser.add_argument(
+        "--simulator",
+        default="active",
+        choices=("active", "reference", "runtime"),
+        help="CONGEST execution mode for simulated phases (identical records)",
+    )
     parser.add_argument("--output", default=None, help="write records to this JSON file")
     parser.add_argument("--list", action="store_true", help="print the registries and exit")
     args = parser.parse_args(argv)
@@ -97,7 +112,12 @@ def main(argv: list[str] | None = None) -> int:
             ))
     except KeyError as error:
         parser.error(str(error.args[0]) if error.args else str(error))
-    records = run_matrix(scenarios, cache=cache, jobs=args.jobs)
+    simulator_cls = {
+        "active": CongestSimulator,
+        "reference": ReferenceSimulator,
+        "runtime": RuntimeSimulator,
+    }[args.simulator]
+    records = run_matrix(scenarios, cache=cache, simulator_cls=simulator_cls, jobs=args.jobs)
     payload = json.dumps(records, indent=2, default=str)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

@@ -11,6 +11,15 @@ sweep (every registered family crossed with every applicable constructor).
 pool (one :class:`InstanceCache` per worker process, results in the same
 deterministic order as the serial sweep).  ``python -m repro.scenarios`` is
 the command-line entry point over these functions.
+
+Scenarios whose workload drives the CONGEST simulator (the ``mst``
+algorithm's BFS build and result broadcast) accept a simulator mode:
+``simulator_cls`` selects between the active-set default, the full-scan
+:class:`~repro.congest.reference.ReferenceSimulator` and the vectorized
+:class:`~repro.congest.runtime.RuntimeSimulator`; ``runtime=True`` on
+:func:`run_scenario` / :func:`run_matrix` (and ``--simulator runtime`` on
+the CLI) is shorthand for the latter.  All three modes produce identical
+records -- only the wall-clock differs (see ``docs/simulator.md``).
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
+from ..congest.runtime import RuntimeSimulator
 from ..congest.simulator import CongestSimulator
 from ..core import core_enabled, networkx_reference_paths
 from .instances import InstanceCache, ScenarioInstance
@@ -118,13 +128,21 @@ def run_scenario(
     scenario: Scenario,
     cache: InstanceCache | None = None,
     simulator_cls: type[CongestSimulator] = CongestSimulator,
+    runtime: bool = False,
 ) -> ScenarioRecord:
     """Execute one scenario spec and return its record.
 
     A constructor that is not applicable to the instance (e.g. the planar
     construction on a torus) yields a record with ``applicable=False``
     rather than an exception, so matrix sweeps stay total.
+
+    ``runtime=True`` runs the simulated phases under the vectorized
+    :class:`~repro.congest.runtime.RuntimeSimulator` (shorthand for
+    ``simulator_cls=RuntimeSimulator``); the record is identical to the
+    per-node modes, only faster.
     """
+    if runtime:
+        simulator_cls = RuntimeSimulator
     instance = build_instance(scenario.family, scenario.params, scenario.seed, cache)
     spec = constructor(scenario.constructor)
     record = ScenarioRecord(
@@ -232,6 +250,7 @@ def run_matrix(
     cache: InstanceCache | None = None,
     simulator_cls: type[CongestSimulator] = CongestSimulator,
     jobs: int = 1,
+    runtime: bool = False,
 ) -> list[dict[str, object]]:
     """Run every scenario through a shared instance cache; return JSON records.
 
@@ -239,8 +258,12 @@ def run_matrix(
     worker keeps its own :class:`InstanceCache` for the sweep, and the
     records come back in the same order as ``scenarios`` (scenario execution
     is deterministic, so the parallel sweep is record-for-record identical
-    to the serial one).
+    to the serial one).  ``runtime=True`` is shorthand for
+    ``simulator_cls=RuntimeSimulator`` (simulator classes pickle by
+    reference, so the runtime mode fans out over the pool like the others).
     """
+    if runtime:
+        simulator_cls = RuntimeSimulator
     scenarios = list(scenarios)
     if jobs is not None and jobs > 1 and len(scenarios) > 1:
         payloads = [(scenario, simulator_cls, core_enabled()) for scenario in scenarios]

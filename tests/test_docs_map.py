@@ -1,12 +1,14 @@
-"""Guard the paper-to-code map against refactor rot.
+"""Guard the documentation tree against refactor rot.
 
-``docs/paper_map.md`` names concrete code symbols for every theorem,
-definition and corollary it maps.  A rename or move that forgets the map
-would silently rot it; this test extracts every backticked dotted
-``repro...`` symbol from the document and asserts that each one still
-imports (modules) or resolves by attribute access (classes, functions,
-methods).  CI also runs this file as its own step, so a docs regression is
-visible as a docs failure rather than a generic test failure.
+``docs/paper_map.md`` and ``docs/simulator.md`` name concrete code symbols
+(theorem-to-code rows, telemetry fields, simulator modes).  A rename or
+move that forgets the docs would silently rot them; these tests extract
+every backticked dotted ``repro...`` symbol from the documents and assert
+that each one still imports (modules) or resolves by attribute access
+(classes, functions, methods).  A second layer checks every *relative
+link* in ``docs/*.md`` and the README: each must point at a file that
+exists.  CI runs this file as its own ``docs`` job, so a docs regression
+is visible as a docs failure rather than a generic test failure.
 """
 
 from __future__ import annotations
@@ -15,9 +17,16 @@ import importlib
 import pathlib
 import re
 
-DOCS_DIR = pathlib.Path(__file__).resolve().parent.parent / "docs"
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
 PAPER_MAP = DOCS_DIR / "paper_map.md"
+SIMULATOR_DOC = DOCS_DIR / "simulator.md"
+SYMBOL_CHECKED_DOCS = [PAPER_MAP, SIMULATOR_DOC]
 SYMBOL_PATTERN = re.compile(r"`(repro(?:\.\w+)+)`")
+# [text](target) markdown links; external schemes and pure anchors are skipped.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 
 def _resolve(dotted: str):
@@ -49,15 +58,17 @@ def test_paper_map_exists_and_names_enough_symbols():
     assert len(symbols) >= 25, f"paper map names only {len(symbols)} symbols"
 
 
-def test_every_symbol_in_paper_map_resolves():
-    symbols = sorted(set(SYMBOL_PATTERN.findall(PAPER_MAP.read_text(encoding="utf-8"))))
+@pytest.mark.parametrize("document", SYMBOL_CHECKED_DOCS, ids=lambda p: p.name)
+def test_every_symbol_in_docs_resolves(document):
+    assert document.exists(), f"docs/{document.name} is missing"
+    symbols = sorted(set(SYMBOL_PATTERN.findall(document.read_text(encoding="utf-8"))))
     failures = []
     for dotted in symbols:
         try:
             _resolve(dotted)
         except AssertionError as error:
             failures.append(str(error))
-    assert not failures, "stale symbols in docs/paper_map.md:\n" + "\n".join(failures)
+    assert not failures, f"stale symbols in docs/{document.name}:\n" + "\n".join(failures)
 
 
 def test_architecture_doc_exists_and_is_linked():
@@ -66,3 +77,33 @@ def test_architecture_doc_exists_and_is_linked():
     readme = (DOCS_DIR.parent / "README.md").read_text(encoding="utf-8")
     assert "docs/architecture.md" in readme, "README must link the architecture guide"
     assert "docs/paper_map.md" in readme, "README must link the paper map"
+
+
+def test_simulator_doc_exists_and_is_linked():
+    assert SIMULATOR_DOC.exists(), "docs/simulator.md is missing"
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert "docs/simulator.md" in readme, "README must link the simulator guide"
+    architecture = (DOCS_DIR / "architecture.md").read_text(encoding="utf-8")
+    assert "simulator.md" in architecture, (
+        "docs/architecture.md must link the simulator guide"
+    )
+
+
+def _relative_links(markdown: pathlib.Path) -> list[str]:
+    links = []
+    for target in LINK_PATTERN.findall(markdown.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        links.append(target.split("#", 1)[0])
+    return links
+
+
+def test_relative_links_in_docs_resolve():
+    documents = sorted(DOCS_DIR.glob("*.md")) + [REPO_ROOT / "README.md"]
+    broken = []
+    for document in documents:
+        base = document.parent
+        for target in _relative_links(document):
+            if not (base / target).exists():
+                broken.append(f"{document.relative_to(REPO_ROOT)} -> {target}")
+    assert not broken, "broken relative links:\n" + "\n".join(broken)
