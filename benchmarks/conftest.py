@@ -18,7 +18,8 @@ Every ``bench_*_speedup.py`` gate appends its record to a
 ``benchmarks/BENCH_S<k>.json`` trajectory file through
 :func:`append_trajectory`, so speedup regressions are visible across
 commits (not just against the gate) from the very first run after a fresh
-clone.  The trajectory files are gitignored.
+clone; the E8 fault-degradation sweep does the same into
+``benchmarks/BENCH_E8.json``.  The trajectory files are gitignored.
 """
 
 from __future__ import annotations

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Distributed MST on a lossy network: seeded fault injection end to end.
+
+The CONGEST phases of the ``mst`` workload (the BFS-tree build and the
+final announcement run as genuine per-node message-passing programs) are
+executed on a 30x30 grid while a seeded
+:class:`~repro.congest.faults.FaultSchedule` drops a fraction of all
+messages.  The robust primitives pay for the losses with retries and
+acknowledgements instead of wrong answers:
+
+* at every drop rate the computed MST weight still matches the
+  centralised reference (the protocol degrades in *cost*, not in
+  *correctness*);
+* the degradation is measured, deterministic and reproducible: same
+  ``--fault-seed``-style decision stream, same record, across all three
+  simulator modes and across process pools.
+
+Run it with ``PYTHONPATH=src python examples/faulty_grid_mst.py``.
+"""
+
+from repro.congest.faults import FaultModel
+from repro.scenarios.engine import Scenario, run_scenario
+from repro.scenarios.instances import InstanceCache
+
+SIDE = 30  # n = 900
+DROP_RATES = (0.0, 0.01, 0.05)
+FAULT_SEED = 2018
+
+
+def main() -> None:
+    scenario = Scenario(
+        name="faulty-grid-mst",
+        family="planar",
+        constructor="oblivious",
+        algorithm="mst",
+        params={"side": SIDE},
+        seed=7,
+    )
+    cache = InstanceCache()  # share the instance across the sweep
+    rows = []
+    baseline_messages = None
+    for rate in DROP_RATES:
+        record = run_scenario(
+            scenario,
+            cache=cache,
+            faults=FaultModel(drop=rate),
+            fault_seed=FAULT_SEED,
+        ).as_dict()
+        result = record["result"]
+        assert result["weight_matches_reference"], f"wrong MST at drop rate {rate}"
+        if baseline_messages is None:
+            baseline_messages = result["sim_messages"]
+        rows.append((
+            rate,
+            result["sim_rounds"],
+            result["sim_messages"],
+            result["sim_messages"] / baseline_messages,
+            result.get("sim_dropped", 0),
+            result.get("bfs_repaired", 0),
+        ))
+
+    n = SIDE * SIDE
+    print(f"grid: n={n}, drop rates {[f'{rate:.0%}' for rate in DROP_RATES]}, "
+          f"fault seed {FAULT_SEED}")
+    print("every run recomputed the reference MST weight exactly\n")
+    header = f"{'drop':>6} {'rounds':>7} {'messages':>9} {'overhead':>9} {'dropped':>8} {'repaired':>9}"
+    print(header)
+    print("-" * len(header))
+    for rate, rounds, messages, overhead, dropped, repaired in rows:
+        print(f"{rate:>6.0%} {rounds:>7} {messages:>9} {overhead:>8.2f}x "
+              f"{dropped:>8} {repaired:>9}")
+    print("\ndegradation is graceful: losses cost retry messages and a few "
+          "extra rounds, never the answer")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,7 @@ from .experiments import (
     experiment_cells_and_gates,
     experiment_clique_sum,
     experiment_constructions,
+    experiment_fault_degradation,
     experiment_genus_vortex_treewidth,
     experiment_mincut,
     experiment_minor_free_quality,
@@ -30,6 +31,7 @@ __all__ = [
     "experiment_cells_and_gates",
     "experiment_clique_sum",
     "experiment_constructions",
+    "experiment_fault_degradation",
     "experiment_genus_vortex_treewidth",
     "experiment_mincut",
     "experiment_minor_free_quality",

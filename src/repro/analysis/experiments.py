@@ -30,6 +30,7 @@ from ..algorithms.mst_baselines import (
     no_shortcut_builder,
     paper_reference_rounds,
 )
+from ..congest.faults import FaultModel
 from ..congest.reference import ReferenceSimulator
 from ..congest.runtime import RuntimeSimulator
 from ..congest.simulator import CongestSimulator
@@ -362,6 +363,96 @@ def experiment_robustness(grid_side: int = 9, extra_edges: int = 4, seed: int = 
         "planar_construction_applicable": still_planar,
         "apex_quality": apex.measure().as_row(),
         "steiner_quality": fallback.measure().as_row(),
+    }
+
+
+def experiment_fault_degradation(
+    side: int = 7,
+    rates: Sequence[float] = (0.0, 0.01, 0.05),
+    kinds: Sequence[str] = ("drop", "delay", "crash"),
+    seed: int = 41,
+    fault_seed: int = 7,
+) -> dict:
+    """E8 -- graceful degradation: the simulated MST phases under seeded faults.
+
+    Sweeps every built-in fault ``kind`` over the fault ``rates`` on the
+    planar MST scenario (BFS build + announcement run as genuine node
+    programs; see :func:`repro.scenarios.registry._run_mst`).  Two contracts
+    are asserted, not just measured:
+
+    * **rate 0 is free**: a null model is normalised away, so the rate-0
+      cell must reproduce the fail-free record byte-for-byte;
+    * **mode independence**: for the highest rate of each kind the record
+      is re-computed under the full-scan reference and vectorized runtime
+      simulators and must match the active-set record exactly (the fault
+      layer's three-mode equality contract).
+
+    The returned rows form the degradation trajectory the E8 benchmark
+    appends to ``benchmarks/BENCH_E8.json``: message overhead (retries),
+    repaired tree edges and announcement coverage as the fault rate grows.
+    """
+    scenario = Scenario(
+        name="fault-degradation",
+        family="planar",
+        constructor="steiner",
+        algorithm="mst",
+        params={"side": side},
+        seed=seed,
+    )
+    cache = InstanceCache()
+
+    def record_for(model: FaultModel | None, simulator_cls=CongestSimulator) -> dict:
+        record = run_scenario(
+            scenario,
+            cache=cache,
+            simulator_cls=simulator_cls,
+            faults=model,
+            fault_seed=fault_seed,
+        ).as_dict()
+        record["result"].pop("sim_seconds", None)  # wall-clock is not contractual
+        return record
+
+    baseline = record_for(None)
+    n = baseline["instance"]["n"]
+    rate_zero_ok = True
+    three_mode_ok = True
+    rows = []
+    for kind in kinds:
+        for rate in rates:
+            model = FaultModel.preset(kind, rate=rate)
+            record = record_for(model)
+            if model.is_null:
+                rate_zero_ok = rate_zero_ok and record == baseline
+            elif rate == max(rates):
+                for other_cls in (ReferenceSimulator, RuntimeSimulator):
+                    three_mode_ok = three_mode_ok and record_for(model, other_cls) == record
+            result = record["result"]
+            rows.append({
+                "kind": kind,
+                "rate": rate,
+                "sim_rounds": result["sim_rounds"],
+                "sim_messages": result["sim_messages"],
+                "message_overhead": result["sim_messages"] / baseline["result"]["sim_messages"],
+                "dropped": result.get("sim_dropped", 0),
+                "delayed": result.get("sim_delayed", 0),
+                "duplicated": result.get("sim_duplicated", 0),
+                "crashed_nodes": result.get("sim_crashed_nodes", 0),
+                "bfs_repaired": result.get("bfs_repaired", 0),
+                "announce_reached": result.get("announce_reached", n),
+                "weight_matches_reference": result["weight_matches_reference"],
+                "matches_fail_free": result == baseline["result"],
+            })
+    return {
+        "experiment": "E8-fault-degradation",
+        "n": n,
+        "rates": list(rates),
+        "kinds": list(kinds),
+        "fault_seed": fault_seed,
+        "baseline_sim_messages": baseline["result"]["sim_messages"],
+        "baseline_sim_rounds": baseline["result"]["sim_rounds"],
+        "rate_zero_matches_fail_free": rate_zero_ok,
+        "three_mode_equal": three_mode_ok,
+        "rows": rows,
     }
 
 

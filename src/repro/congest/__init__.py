@@ -29,20 +29,33 @@ exactly equal -- see ``docs/simulator.md``): the full-scan
 """
 
 from .node import NodeContext, NodeProgram
+from .faults import (
+    BUILT_IN_FAULT_KINDS,
+    FaultModel,
+    FaultQueue,
+    FaultSchedule,
+    parse_fault_spec,
+)
 from .simulator import CongestSimulator, RoundTelemetry, SimulationResult
 from .reference import ReferenceSimulator
-from .runtime import RuntimeProgram, RuntimeSimulator
+from .runtime import FaultRuntime, RuntimeProgram, RuntimeSimulator
 from .primitives import (
     broadcast_value,
     convergecast_aggregate,
     distributed_bfs_tree,
     flood_max_id,
+    robust_bfs_tree,
 )
 from .aggregation import AggregationResult, partwise_aggregate
 
 __all__ = [
     "AggregationResult",
+    "BUILT_IN_FAULT_KINDS",
     "CongestSimulator",
+    "FaultModel",
+    "FaultQueue",
+    "FaultRuntime",
+    "FaultSchedule",
     "NodeContext",
     "NodeProgram",
     "ReferenceSimulator",
@@ -54,5 +67,7 @@ __all__ = [
     "convergecast_aggregate",
     "distributed_bfs_tree",
     "flood_max_id",
+    "parse_fault_spec",
     "partwise_aggregate",
+    "robust_bfs_tree",
 ]

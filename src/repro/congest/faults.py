@@ -1,0 +1,420 @@
+"""Seeded, deterministic fault injection for the CONGEST simulator.
+
+The fail-free simulator answers "how many rounds does the algorithm take";
+this module answers "and what happens when the network misbehaves" without
+giving up reproducibility.  Every perturbation -- dropping a message,
+delaying it by ``k`` rounds, duplicating it, crashing a node, permuting a
+round's delivery order -- is drawn by a **pure hash function** of
+``(seed, kind, round, canonical sender, canonical receiver)``, never from
+mutable RNG state.  Two consequences follow directly:
+
+* a faulty run is exactly reproducible from ``(FaultModel, seed)`` alone,
+  so faulty executions are differentially testable across the three
+  simulator modes just like fail-free ones (the equality contract of
+  ``docs/simulator.md`` extends verbatim); and
+* the decision stream is independent of evaluation order and of process
+  identity, so a parallel ``run_matrix(jobs=N)`` sweep with faults is
+  byte-identical to the serial sweep -- there is no RNG state to leak.
+
+The three pieces:
+
+:class:`FaultModel`
+    the declarative spec (rates, delay bound, crash window, explicit
+    ``crash_at`` pins, adversarial ``shuffle``).  An all-zero model is
+    *null* and the simulators treat it exactly like no fault layer at all,
+    which is what makes "rate 0 reproduces the fail-free trajectory
+    bit-for-bit" true by construction.
+
+:class:`FaultSchedule`
+    the seeded decision stream: ``fate(round, u, v)`` for per-message
+    drop/delay/duplication, ``crash_round(node)`` for node failures,
+    ``shuffle_order`` for delivery-order permutations.  Node identifiers
+    are **canonical**: CSR indices in core/runtime mode, repr-rank in
+    label mode -- the same ints in every mode, so one schedule drives all
+    three engines identically.
+
+:class:`FaultQueue`
+    the shared mailbox all three run loops route their sends through: a
+    round-bucketed pending store that applies the schedule at the *send*
+    boundary (drop / delay / duplicate) and the *deliver* boundary
+    (crashed-recipient filtering, adversarial permutation), and accounts
+    every decision into the per-round fault telemetry columns.
+
+Accounting identity (asserted by the property tests): ``messages`` keeps
+counting what programs *send*; of those, ``dropped`` never arrive and each
+``duplicated`` send arrives once more, so total deliveries equal
+``messages - dropped + duplicated``.  A delayed message is counted in
+``delayed`` once at its send round and still delivers (unless its
+recipient crashes first, which re-books it as dropped in the delivery
+round).  When two messages from the same sender reach the same recipient
+in the same round (possible only under delays/duplication), the
+chronologically later send wins -- the same overwrite rule in all modes,
+since every mode writes through this one queue in canonical node order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Mapping
+
+from ..errors import SimulationError
+
+__all__ = [
+    "BUILT_IN_FAULT_KINDS",
+    "FaultModel",
+    "FaultQueue",
+    "FaultSchedule",
+    "parse_fault_spec",
+]
+
+_MASK = (1 << 64) - 1
+
+# Decision-kind tags: each perturbation draws from its own hash stream so
+# e.g. raising the drop rate never changes which messages get delayed.
+_DROP = 1
+_DELAY = 2
+_DELAY_K = 3
+_DUP = 4
+_CRASH = 5
+_CRASH_ROUND = 6
+_SHUFFLE = 7
+
+
+def _mix(*parts: int) -> int:
+    """splitmix64-style finalizer folded over the parts (pure, stateless)."""
+    x = 0x9E3779B97F4A7C15
+    for part in parts:
+        x = ((x ^ (part & _MASK)) * 0xBF58476D1CE4E5B9) & _MASK
+        x ^= x >> 27
+        x = (x * 0x94D049BB133111EB) & _MASK
+        x ^= x >> 31
+    return x
+
+
+def _u01(*parts: int) -> float:
+    """A uniform [0, 1) variate from the pure hash stream."""
+    return _mix(*parts) / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Declarative spec of a fault environment (all perturbations optional).
+
+    Attributes:
+        drop: per-message loss probability in ``[0, 1]``.
+        delay: per-message delay probability; a delayed message arrives
+            ``k`` rounds late with ``k`` uniform in ``1..max_delay``.
+        max_delay: upper bound on the per-message delay (>= 1).
+        duplicate: per-message duplication probability; the duplicate is a
+            faithful copy delivered one round after the original and is
+            exempt from further faults (at most one copy per send).
+        crash: per-node crash probability; a crashed node picks its crash
+            round uniformly in ``1..crash_window`` and never executes from
+            that round on (crash-stop, no recovery).
+        crash_window: upper bound on randomly drawn crash rounds (>= 1).
+        crash_at: explicit ``(node, round)`` pins overriding the random
+            draw; nodes are canonical ids (CSR indices / repr ranks).
+        shuffle: when true, each recipient's per-round inbox is permuted
+            by a seeded Fisher-Yates before delivery (adversarial
+            delivery order for order-sensitive programs).
+    """
+
+    drop: float = 0.0
+    delay: float = 0.0
+    max_delay: int = 1
+    duplicate: float = 0.0
+    crash: float = 0.0
+    crash_window: int = 1
+    crash_at: tuple[tuple[int, int], ...] = ()
+    shuffle: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "delay", "duplicate", "crash"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} rate must be in [0, 1], got {rate!r}")
+        if self.max_delay < 1:
+            raise ValueError(f"max_delay must be >= 1, got {self.max_delay!r}")
+        if self.crash_window < 1:
+            raise ValueError(f"crash_window must be >= 1, got {self.crash_window!r}")
+        object.__setattr__(self, "crash_at", tuple(
+            (int(node), int(round_number)) for node, round_number in self.crash_at
+        ))
+        for node, round_number in self.crash_at:
+            if round_number < 1:
+                raise ValueError(
+                    f"crash_at round for node {node} must be >= 1, got {round_number}"
+                )
+
+    @property
+    def is_null(self) -> bool:
+        """True when the model perturbs nothing (fail-free by construction)."""
+        return (
+            self.drop == 0.0
+            and self.delay == 0.0
+            and self.duplicate == 0.0
+            and self.crash == 0.0
+            and not self.crash_at
+            and not self.shuffle
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly description (recorded by the scenario engine)."""
+        return {
+            "drop": self.drop,
+            "delay": self.delay,
+            "max_delay": self.max_delay,
+            "duplicate": self.duplicate,
+            "crash": self.crash,
+            "crash_window": self.crash_window,
+            "crash_at": [list(pin) for pin in self.crash_at],
+            "shuffle": self.shuffle,
+        }
+
+    @classmethod
+    def preset(cls, kind: str, rate: float = 0.05) -> "FaultModel":
+        """One built-in single-perturbation model per fault kind.
+
+        ``kind`` is one of :data:`BUILT_IN_FAULT_KINDS`; ``rate`` is the
+        perturbation probability (ignored for ``"shuffle"``, which is a
+        pure delivery-order adversary).  ``rate=0`` yields a null model of
+        every kind except ``"shuffle"``.
+        """
+        if kind == "drop":
+            return cls(drop=rate)
+        if kind == "delay":
+            return cls(delay=rate, max_delay=3)
+        if kind == "duplicate":
+            return cls(duplicate=rate)
+        if kind == "crash":
+            return cls(crash=rate, crash_window=8)
+        if kind == "shuffle":
+            return cls(shuffle=True)
+        raise ValueError(
+            f"unknown fault kind {kind!r}; built-ins are {BUILT_IN_FAULT_KINDS}"
+        )
+
+
+BUILT_IN_FAULT_KINDS: tuple[str, ...] = (
+    "drop", "delay", "duplicate", "crash", "shuffle",
+)
+
+
+def parse_fault_spec(spec: str) -> FaultModel:
+    """Parse the CLI fault spec mini-language into a :class:`FaultModel`.
+
+    The spec is a comma-separated list of clauses::
+
+        drop=0.05,delay=0.02:3,dup=0.01,crash=0.05:10,shuffle
+
+    ``delay=p:k`` bounds the delay at ``k`` rounds (default 1) and
+    ``crash=p:w`` draws crash rounds in ``1..w`` (default 1); ``dup`` is
+    an alias for ``duplicate`` and a bare ``shuffle`` turns the delivery
+    adversary on.  An empty spec is the null model.
+    """
+    fields: dict[str, object] = {}
+    for clause in filter(None, (part.strip() for part in spec.split(","))):
+        if clause == "shuffle":
+            fields["shuffle"] = True
+            continue
+        if "=" not in clause:
+            raise ValueError(f"malformed fault clause {clause!r} in spec {spec!r}")
+        key, _, value = clause.partition("=")
+        key = key.strip()
+        rate, _, bound = value.partition(":")
+        try:
+            if key == "drop":
+                fields["drop"] = float(rate)
+            elif key == "delay":
+                fields["delay"] = float(rate)
+                if bound:
+                    fields["max_delay"] = int(bound)
+            elif key in ("dup", "duplicate"):
+                fields["duplicate"] = float(rate)
+            elif key == "crash":
+                fields["crash"] = float(rate)
+                if bound:
+                    fields["crash_window"] = int(bound)
+            else:
+                raise ValueError(f"unknown fault clause {key!r} in spec {spec!r}")
+        except ValueError as error:
+            raise ValueError(f"malformed fault clause {clause!r}: {error}") from None
+    return FaultModel(**fields)
+
+
+class FaultSchedule:
+    """The seeded decision stream: one pure function per perturbation kind.
+
+    Every decision is a hash of ``(seed, kind, round, canonical ids)`` --
+    no mutable state, so decisions can be queried in any order (or from
+    any process) with identical outcomes.  Construct once per model+seed
+    and hand the same schedule to any number of simulator runs.
+    """
+
+    __slots__ = ("model", "seed", "_crash_pins", "_crash_cache")
+
+    def __init__(self, model: FaultModel, seed: int = 0) -> None:
+        self.model = model
+        self.seed = int(seed) & _MASK
+        self._crash_pins = dict(model.crash_at)
+        self._crash_cache: dict[int, int | None] = {}
+
+    @property
+    def active(self) -> bool:
+        """False for null models: the simulators then skip the fault layer
+        entirely, taking the byte-identical fail-free code paths."""
+        return not self.model.is_null
+
+    def describe(self) -> dict[str, object]:
+        return {"seed": self.seed, **self.model.as_dict()}
+
+    # -- per-message decisions (send boundary) -----------------------------
+
+    def fate(self, round_number: int, sender: int, target: int) -> tuple[int, bool]:
+        """Decide one message's fate; return ``(delay, duplicate)``.
+
+        ``delay`` is ``-1`` for a dropped message, ``0`` for on-time
+        delivery next round, ``k >= 1`` for arrival ``k`` rounds late.
+        ``duplicate`` asks for one extra faithful copy a round later
+        (never set for dropped messages -- the network lost the send).
+        """
+        model, seed = self.model, self.seed
+        if model.drop and _u01(seed, _DROP, round_number, sender, target) < model.drop:
+            return -1, False
+        delay = 0
+        if model.delay and _u01(seed, _DELAY, round_number, sender, target) < model.delay:
+            delay = 1 + _mix(seed, _DELAY_K, round_number, sender, target) % model.max_delay
+        duplicate = bool(model.duplicate) and (
+            _u01(seed, _DUP, round_number, sender, target) < model.duplicate
+        )
+        return delay, duplicate
+
+    # -- per-node decisions ------------------------------------------------
+
+    def crash_round(self, node: int) -> int | None:
+        """The round from which ``node`` never executes again (None = never).
+
+        Explicit ``crash_at`` pins win over the random draw; decisions are
+        cached per schedule (they are pure, the cache is just speed).
+        """
+        cache = self._crash_cache
+        if node in cache:
+            return cache[node]
+        pinned = self._crash_pins.get(node)
+        if pinned is not None:
+            result: int | None = pinned
+        else:
+            model = self.model
+            result = None
+            if model.crash and _u01(self.seed, _CRASH, node) < model.crash:
+                result = 1 + _mix(self.seed, _CRASH_ROUND, node) % model.crash_window
+        cache[node] = result
+        return result
+
+    # -- delivery-order adversary (deliver boundary) -----------------------
+
+    def shuffle_order(self, round_number: int, target: int, count: int) -> list[int]:
+        """A seeded Fisher-Yates permutation of ``range(count)`` for one
+        recipient's inbox in one round (applied to the canonically sorted
+        sender list, so the result is mode-independent)."""
+        order = list(range(count))
+        for i in range(count - 1, 0, -1):
+            j = _mix(self.seed, _SHUFFLE, round_number, target, i) % (i + 1)
+            order[i], order[j] = order[j], order[i]
+        return order
+
+
+class FaultQueue:
+    """The round-bucketed mailbox shared by all three fault-aware run loops.
+
+    Sends pass through :meth:`send` (drop / delay / duplicate applied at
+    the send boundary); each round's deliveries come back from
+    :meth:`deliveries` (crashed recipients filtered, adversarial order
+    applied at the deliver boundary).  ``canon`` maps program node ids to
+    canonical ints (None when the ids *are* canonical, i.e. core/runtime
+    mode); all schedule queries go through it, so label-mode and
+    core-mode runs of the same network consume the same decision stream.
+    """
+
+    __slots__ = ("schedule", "_canon", "_sort_key", "_buckets",
+                 "dropped", "delayed", "duplicated")
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        canon: Mapping[Hashable, int] | None = None,
+    ) -> None:
+        self.schedule = schedule
+        self._canon = canon
+        self._sort_key: Callable = (
+            _canonical_identity if canon is None else canon.__getitem__
+        )
+        # arrival round -> recipient -> {sender: message}
+        self._buckets: dict[int, dict[Hashable, dict[Hashable, object]]] = {}
+        self.dropped = 0
+        self.delayed = 0
+        self.duplicated = 0
+
+    def _canon_of(self, node: Hashable) -> int:
+        canon = self._canon
+        return node if canon is None else canon[node]
+
+    def send(self, round_number: int, sender: Hashable, target: Hashable, message) -> None:
+        """Route one program send through the schedule into the buckets."""
+        delay, duplicate = self.schedule.fate(
+            round_number, self._canon_of(sender), self._canon_of(target)
+        )
+        if delay < 0:
+            self.dropped += 1
+            return
+        arrival = round_number + 1 + delay
+        if delay:
+            self.delayed += 1
+        buckets = self._buckets
+        buckets.setdefault(arrival, {}).setdefault(target, {})[sender] = message
+        if duplicate:
+            self.duplicated += 1
+            buckets.setdefault(arrival + 1, {}).setdefault(target, {})[sender] = message
+
+    def deliveries(self, round_number: int) -> dict[Hashable, dict[Hashable, object]]:
+        """Pop and return this round's inboxes (recipient -> sender -> msg).
+
+        Mail addressed to a recipient already crashed by ``round_number``
+        is destroyed here and re-booked as dropped; with ``shuffle`` on,
+        each surviving multi-sender inbox is rebuilt in the schedule's
+        adversarial order (over the canonically sorted sender list, so the
+        permutation is identical in every mode).
+        """
+        bucket = self._buckets.pop(round_number, None)
+        if not bucket:
+            return {}
+        schedule = self.schedule
+        for target in list(bucket):
+            crash = schedule.crash_round(self._canon_of(target))
+            if crash is not None and round_number >= crash:
+                self.dropped += len(bucket.pop(target))
+        if schedule.model.shuffle:
+            for target, inbox in bucket.items():
+                if len(inbox) > 1:
+                    senders = sorted(inbox, key=self._sort_key)
+                    order = schedule.shuffle_order(
+                        round_number, self._canon_of(target), len(senders)
+                    )
+                    bucket[target] = {senders[i]: inbox[senders[i]] for i in order}
+        return bucket
+
+    def has_mail(self) -> bool:
+        """True while any bucket (present or future round) holds a message."""
+        return bool(self._buckets)
+
+    def take_round_stats(self) -> tuple[int, int, int]:
+        """Return and reset the (dropped, delayed, duplicated) counters --
+        called once per round to fill the fault telemetry columns."""
+        stats = (self.dropped, self.delayed, self.duplicated)
+        self.dropped = self.delayed = self.duplicated = 0
+        return stats
+
+
+def _canonical_identity(value: int) -> int:
+    """Sort key when program ids are already canonical ints (core mode)."""
+    return value

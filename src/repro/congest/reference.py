@@ -31,7 +31,8 @@ from __future__ import annotations
 
 from typing import Hashable
 
-from ..errors import SimulationError
+from ..errors import RoundLimitError
+from .faults import FaultQueue
 from .node import message_size_in_words
 from .simulator import CongestSimulator, RoundTelemetry, SimulationResult
 
@@ -45,8 +46,124 @@ class ReferenceSimulator(CongestSimulator):
         # not any program would read it; keep that (costly) behaviour.
         self._resolve_diameter_bound()
 
+    def _run_faulty(self, max_rounds: int) -> SimulationResult:
+        """The fault-aware loop in full-scan flavour.
+
+        Same :class:`~repro.congest.faults.FaultQueue` boundaries and crash
+        bookkeeping as the active-set loop, but every round scans every
+        node and re-derives global halt status by iterating all programs
+        -- the seed's cost profile, kept as the fault layer's differential
+        oracle.
+        """
+        programs = self.programs
+        schedule = self._fault_schedule
+        queue = FaultQueue(schedule, self._rank)
+        crash_by_round = self._crash_rounds()
+        crashed: set[Hashable] = set()
+        total_messages = total_words = 0
+        total_dropped = total_delayed = total_duplicated = 0
+        telemetry: list[RoundTelemetry] = []
+        last_active_round = 0
+
+        newly = crash_by_round.get(1, ())
+        crashed.update(newly)
+        sent = words = executed = 0
+        for node in self._order:
+            if node in crashed:
+                continue
+            executed += 1
+            outgoing = programs[node].on_start() or {}
+            self._validate_outgoing(node, outgoing)
+            for target, message in outgoing.items():
+                if message is None:
+                    continue
+                queue.send(1, node, target, message)
+                sent += 1
+                words += message_size_in_words(message)
+        dropped, delayed, duplicated = queue.take_round_stats()
+        total_messages += sent
+        total_words += words
+        total_dropped += dropped
+        total_delayed += delayed
+        total_duplicated += duplicated
+        telemetry.append(
+            RoundTelemetry(1, executed, sent, words, dropped, delayed, duplicated, len(newly))
+        )
+        if sent:
+            last_active_round = 1
+
+        for round_number in range(2, max_rounds + 2):
+            all_halted = all(
+                programs[node].halted or node in crashed for node in self._order
+            )
+            if all_halted and not queue.has_mail():
+                break
+            inboxes = queue.deliveries(round_number)
+            delivered = bool(inboxes)
+            newly = crash_by_round.get(round_number, ())
+            crashed.update(newly)
+            sent = words = executed = 0
+            for node in self._order:
+                if node in crashed:
+                    continue
+                program = programs[node]
+                inbox = inboxes.get(node)
+                if inbox is None:
+                    if program.halted:
+                        continue
+                    inbox = {}
+                executed += 1
+                outgoing = program.on_round(round_number, inbox) or {}
+                self._validate_outgoing(node, outgoing)
+                for target, message in outgoing.items():
+                    if message is None:
+                        continue
+                    queue.send(round_number, node, target, message)
+                    sent += 1
+                    words += message_size_in_words(message)
+            dropped, delayed, duplicated = queue.take_round_stats()
+            total_messages += sent
+            total_words += words
+            total_dropped += dropped
+            total_delayed += delayed
+            total_duplicated += duplicated
+            telemetry.append(RoundTelemetry(
+                round_number, executed, sent, words, dropped, delayed, duplicated, len(newly)
+            ))
+            if sent or delivered:
+                last_active_round = round_number
+        else:
+            raise RoundLimitError(
+                f"simulation did not converge within {max_rounds} rounds",
+                partial=SimulationResult(
+                    rounds=last_active_round,
+                    messages=total_messages,
+                    words=total_words,
+                    outputs=self._final_outputs(exclude=crashed),
+                    telemetry=telemetry,
+                    dropped=total_dropped,
+                    delayed=total_delayed,
+                    duplicated=total_duplicated,
+                    crashed_nodes=len(crashed),
+                ),
+            )
+
+        return SimulationResult(
+            rounds=last_active_round,
+            messages=total_messages,
+            words=total_words,
+            outputs=self._final_outputs(exclude=crashed),
+            telemetry=telemetry,
+            dropped=total_dropped,
+            delayed=total_delayed,
+            duplicated=total_duplicated,
+            crashed_nodes=len(crashed),
+        )
+
     def run(self, max_rounds: int = 10_000) -> SimulationResult:
         """Run to quiescence with a full node scan per round (seed behaviour)."""
+        if self._fault_schedule is not None:
+            return self._run_faulty(max_rounds)
         programs = self.programs
         inboxes: dict[Hashable, dict[Hashable, object]] = {node: {} for node in programs}
         pending: dict[Hashable, dict[Hashable, object]] = {node: {} for node in programs}
@@ -100,7 +217,16 @@ class ReferenceSimulator(CongestSimulator):
             if sent or any_inbox:
                 last_active_round = round_number
         else:
-            raise SimulationError(f"simulation did not converge within {max_rounds} rounds")
+            raise RoundLimitError(
+                f"simulation did not converge within {max_rounds} rounds",
+                partial=SimulationResult(
+                    rounds=last_active_round,
+                    messages=total_messages,
+                    words=total_words,
+                    outputs=self._final_outputs(),
+                    telemetry=telemetry,
+                ),
+            )
 
         outputs = self._final_outputs()
         return SimulationResult(

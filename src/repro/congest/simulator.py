@@ -54,9 +54,10 @@ from typing import Callable, Hashable
 import networkx as nx
 
 from ..core import GraphView
-from ..errors import InvalidGraphError, SimulationError
+from ..errors import InvalidGraphError, RoundLimitError, SimulationError
 from ..graphs.weights import WEIGHT
 from ..utils import require_connected, require_simple
+from .faults import FaultModel, FaultQueue, FaultSchedule
 from .node import NodeContext, NodeProgram, message_size_in_words
 
 
@@ -69,12 +70,24 @@ class RoundTelemetry:
         active_nodes: number of node programs that executed this round.
         messages: messages sent this round.
         words: message volume sent this round, in machine words.
+        dropped: messages destroyed this round by the fault layer (lossy
+            sends, plus mail addressed to already-crashed recipients).
+        delayed: messages sent this round that will arrive late.
+        duplicated: extra message copies injected for this round's sends.
+        crashed: nodes that crashed *this* round (crash-stop, permanent).
+
+    The four fault columns default to 0 so fail-free rows -- and every
+    record produced before the fault layer existed -- compare equal.
     """
 
     round: int
     active_nodes: int
     messages: int
     words: int
+    dropped: int = 0
+    delayed: int = 0
+    duplicated: int = 0
+    crashed: int = 0
 
 
 @dataclass
@@ -87,9 +100,18 @@ class SimulationResult:
         messages: total number of (non-``None``) messages delivered.
         words: total message volume in machine words.
         outputs: mapping node -> whatever the node's program returned from
-            :meth:`NodeProgram.result`.
+            :meth:`NodeProgram.result`.  Crashed nodes are excluded --
+            a failed processor produces no output (the "outputs only from
+            live nodes" invariant of ``docs/simulator.md``).
         telemetry: one :class:`RoundTelemetry` per executed round (including
             trailing silent rounds, whose ``messages`` is 0).
+        dropped: total messages destroyed by the fault layer (0 fail-free).
+        delayed: total messages that arrived late (0 fail-free).
+        duplicated: total extra copies injected (0 fail-free).
+        crashed_nodes: number of nodes that crashed during the run.
+
+    ``messages``/``words`` always count what the programs *sent*; under
+    faults the delivered count is ``messages - dropped + duplicated``.
     """
 
     rounds: int
@@ -97,6 +119,10 @@ class SimulationResult:
     words: int
     outputs: dict[Hashable, object] = field(default_factory=dict)
     telemetry: list[RoundTelemetry] = field(default_factory=list)
+    dropped: int = 0
+    delayed: int = 0
+    duplicated: int = 0
+    crashed_nodes: int = 0
 
     def peak_active_nodes(self) -> int:
         """Return the largest number of programs executed in any round."""
@@ -121,6 +147,12 @@ class CongestSimulator:
         diameter_bound: optional diameter bound handed to the nodes; when
             omitted it is computed exactly -- but lazily, only if some
             program actually reads ``context.diameter_bound``.
+        fault_schedule: an optional :class:`~repro.congest.faults.FaultSchedule`
+            (or bare :class:`~repro.congest.faults.FaultModel`, wrapped with
+            seed 0) injecting seeded message drops/delays/duplications, node
+            crashes and adversarial delivery order.  A null schedule is
+            normalised to ``None``, so a rate-0 model runs the unchanged
+            fail-free code path bit-for-bit.
     """
 
     def __init__(
@@ -130,12 +162,18 @@ class CongestSimulator:
         bandwidth_words: int = 3,
         diameter_bound: int | None = None,
         runtime: bool = False,
+        fault_schedule: FaultSchedule | FaultModel | None = None,
     ) -> None:
         self._view: GraphView | None = graph if isinstance(graph, GraphView) else None
         self.bandwidth_words = bandwidth_words
         self._diameter_bound = diameter_bound
         self.programs: dict[Hashable, NodeProgram] = {}
         self._runtime_program = None
+        if fault_schedule is not None and not isinstance(fault_schedule, FaultSchedule):
+            fault_schedule = FaultSchedule(fault_schedule)
+        self._fault_schedule = (
+            fault_schedule if fault_schedule is not None and fault_schedule.active else None
+        )
         if runtime:
             self._init_runtime(program_factory)
             return
@@ -232,6 +270,17 @@ class CongestSimulator:
         self._rank = None
         self._sort_key = None
         self._neighbour_sets = None
+        if self._fault_schedule is not None:
+            # The compiled twins assume fail-free delivery (depth-uniform BFS
+            # rounds, parity-buffered inboxes); under an active schedule the
+            # runtime mode drives a batched flat-array interpreter instead --
+            # see FaultRuntime in repro.congest.runtime.  Any factory works
+            # here (the interpreter runs genuine node programs), so the
+            # robust retry/ack factories need no compiled twin.
+            from .runtime import FaultRuntime
+
+            self._runtime_program = FaultRuntime(self, program_factory)
+            return
         compile_hook = getattr(program_factory, "compile_runtime", None)
         if compile_hook is None:
             raise SimulationError(
@@ -275,23 +324,179 @@ class CongestSimulator:
                     f"bandwidth of {self.bandwidth_words} words per edge per round"
                 )
 
-    def _final_outputs(self) -> dict[Hashable, object]:
-        """Collect per-node results, keyed by original labels in core mode."""
+    def _final_outputs(self, exclude: frozenset | set = frozenset()) -> dict[Hashable, object]:
+        """Collect per-node results, keyed by original labels in core mode.
+
+        ``exclude`` holds crashed nodes (program id space): a failed
+        processor produces no output, so its key is absent entirely.
+        """
         programs = self.programs
         if self._view is not None:
             node_of = self._view.nodes
-            return {node_of[index]: programs[index].result() for index in self._order}
-        return {node: programs[node].result() for node in self._order}
+            return {
+                node_of[index]: programs[index].result()
+                for index in self._order
+                if index not in exclude
+            }
+        return {
+            node: programs[node].result() for node in self._order if node not in exclude
+        }
+
+    def _crash_rounds(self) -> dict[int, list[Hashable]]:
+        """Resolve the schedule's crash decisions into round -> [nodes].
+
+        Nodes are program ids; within a round they are listed in canonical
+        order (``self._order``), so all modes count and apply crashes
+        identically.
+        """
+        schedule = self._fault_schedule
+        canon = self._rank
+        by_round: dict[int, list[Hashable]] = {}
+        for node in self._order:
+            crash = schedule.crash_round(node if canon is None else canon[node])
+            if crash is not None:
+                by_round.setdefault(crash, []).append(node)
+        return by_round
+
+    def _run_faulty(self, max_rounds: int) -> SimulationResult:
+        """The active-set loop with the fault layer at both mail boundaries.
+
+        All sends route through a :class:`~repro.congest.faults.FaultQueue`
+        (drop/delay/duplicate at the send boundary) and each round's
+        inboxes come back crash-filtered and adversarially ordered from
+        the same queue (deliver boundary).  The activation rule is the
+        fail-free one -- recipients of this round's deliveries plus every
+        never-halted program -- minus crashed nodes, which never execute
+        from their crash round on.
+        """
+        programs = self.programs
+        sort_key = self._sort_key
+        schedule = self._fault_schedule
+        queue = FaultQueue(schedule, self._rank)
+        crash_by_round = self._crash_rounds()
+        crashed: set[Hashable] = set()
+        total_messages = total_words = 0
+        total_dropped = total_delayed = total_duplicated = 0
+        telemetry: list[RoundTelemetry] = []
+        last_active_round = 0
+
+        # Round 1: on_start for every program that has not already crashed.
+        newly = crash_by_round.get(1, ())
+        crashed.update(newly)
+        sent = words = executed = 0
+        for node in self._order:
+            if node in crashed:
+                continue
+            executed += 1
+            outgoing = programs[node].on_start() or {}
+            self._validate_outgoing(node, outgoing)
+            for target, message in outgoing.items():
+                if message is None:
+                    continue
+                queue.send(1, node, target, message)
+                sent += 1
+                words += message_size_in_words(message)
+        dropped, delayed, duplicated = queue.take_round_stats()
+        total_messages += sent
+        total_words += words
+        total_dropped += dropped
+        total_delayed += delayed
+        total_duplicated += duplicated
+        telemetry.append(
+            RoundTelemetry(1, executed, sent, words, dropped, delayed, duplicated, len(newly))
+        )
+        if sent:
+            last_active_round = 1
+        live = {
+            node
+            for node in self._order
+            if node not in crashed and not programs[node].halted
+        }
+
+        round_number = 1
+        while live or queue.has_mail():
+            round_number += 1
+            if round_number > max_rounds + 1:
+                raise RoundLimitError(
+                    f"simulation did not converge within {max_rounds} rounds",
+                    partial=SimulationResult(
+                        rounds=last_active_round,
+                        messages=total_messages,
+                        words=total_words,
+                        outputs=self._final_outputs(exclude=crashed),
+                        telemetry=telemetry,
+                        dropped=total_dropped,
+                        delayed=total_delayed,
+                        duplicated=total_duplicated,
+                        crashed_nodes=len(crashed),
+                    ),
+                )
+            inboxes = queue.deliveries(round_number)
+            delivered = bool(inboxes)
+            newly = crash_by_round.get(round_number, ())
+            for node in newly:
+                crashed.add(node)
+                live.discard(node)
+            active = live if not inboxes else live.union(inboxes.keys())
+            sent = words = executed = 0
+            for node in sorted(active, key=sort_key):
+                program = programs[node]
+                inbox = inboxes.get(node)
+                if inbox is None:
+                    if program.halted:
+                        continue
+                    inbox = {}
+                executed += 1
+                outgoing = program.on_round(round_number, inbox) or {}
+                self._validate_outgoing(node, outgoing)
+                for target, message in outgoing.items():
+                    if message is None:
+                        continue
+                    queue.send(round_number, node, target, message)
+                    sent += 1
+                    words += message_size_in_words(message)
+                if program.halted:
+                    live.discard(node)
+                else:
+                    live.add(node)
+            dropped, delayed, duplicated = queue.take_round_stats()
+            total_messages += sent
+            total_words += words
+            total_dropped += dropped
+            total_delayed += delayed
+            total_duplicated += duplicated
+            telemetry.append(RoundTelemetry(
+                round_number, executed, sent, words, dropped, delayed, duplicated, len(newly)
+            ))
+            if sent or delivered:
+                last_active_round = round_number
+
+        return SimulationResult(
+            rounds=last_active_round,
+            messages=total_messages,
+            words=total_words,
+            outputs=self._final_outputs(exclude=crashed),
+            telemetry=telemetry,
+            dropped=total_dropped,
+            delayed=total_delayed,
+            duplicated=total_duplicated,
+            crashed_nodes=len(crashed),
+        )
 
     def run(self, max_rounds: int = 10_000) -> SimulationResult:
         """Run the simulation to quiescence (all halted, no messages in flight).
 
         In runtime mode the compiled batch program drives the loop instead;
         the returned :class:`SimulationResult` is exactly equal either way
-        (the equality contract in ``docs/simulator.md``).
+        (the equality contract in ``docs/simulator.md``).  With an active
+        fault schedule the fault-aware loop runs instead; exceeding
+        ``max_rounds`` raises :class:`~repro.errors.RoundLimitError`
+        carrying the partial result.
         """
         if self._runtime_program is not None:
             return self._runtime_program.drive(max_rounds)
+        if self._fault_schedule is not None:
+            return self._run_faulty(max_rounds)
         programs = self.programs
         sort_key = self._sort_key
         # pending maps recipient -> {sender: message}; inbox dicts are created
@@ -329,8 +534,15 @@ class CongestSimulator:
         while live or pending:
             round_number += 1
             if round_number > max_rounds + 1:
-                raise SimulationError(
-                    f"simulation did not converge within {max_rounds} rounds"
+                raise RoundLimitError(
+                    f"simulation did not converge within {max_rounds} rounds",
+                    partial=SimulationResult(
+                        rounds=last_active_round,
+                        messages=total_messages,
+                        words=total_words,
+                        outputs=self._final_outputs(),
+                        telemetry=telemetry,
+                    ),
                 )
             inboxes = pending
             pending = {}

@@ -52,5 +52,23 @@ class SimulationError(ReproError):
     """
 
 
+class RoundLimitError(SimulationError):
+    """A simulation exceeded ``max_rounds`` without reaching quiescence.
+
+    Subclasses :class:`SimulationError` (existing ``except`` clauses and
+    ``pytest.raises`` matches keep working) but additionally carries the
+    truncated run's partial :class:`~repro.congest.simulator.SimulationResult`
+    in :attr:`partial` -- telemetry up to the limit, totals so far and the
+    node outputs as they stood when the budget expired.  Fault-injected runs
+    (:mod:`repro.congest.faults`) are the expected producers: a crashed or
+    lossy execution that cannot quiesce surfaces its evidence instead of
+    hanging or returning a silently-incomplete result.
+    """
+
+    def __init__(self, message: str, partial=None) -> None:
+        super().__init__(message)
+        self.partial = partial
+
+
 class ConvergenceError(ReproError):
     """An iterative algorithm failed to converge within its round/step budget."""

@@ -10,11 +10,19 @@ with ``--jobs N``; records are always emitted in the same deterministic
 oracle, ``runtime`` vectorized batch programs); records are identical
 across modes, only the wall-clock differs.
 
+``--faults`` injects seeded faults into those simulated phases -- a spec
+string such as ``drop=0.05,delay=0.02:3,dup=0.01,crash=0.01:8,shuffle``
+(see :func:`repro.congest.faults.parse_fault_spec`) -- and ``--fault-seed``
+picks the decision stream.  Faulty sweeps stay deterministic across
+``--jobs`` and ``--simulator`` choices.
+
 Examples::
 
     python -m repro.scenarios --list
     python -m repro.scenarios --size tiny
     python -m repro.scenarios --families planar --algorithms mst --simulator runtime
+    python -m repro.scenarios --families planar --algorithms mst \
+        --faults drop=0.05,crash=0.01:8 --fault-seed 7
     python -m repro.scenarios --families planar apex --constructors oblivious steiner \
         --algorithms quality mst --seed 3 --jobs 4 --output records.json
 """
@@ -25,6 +33,7 @@ import argparse
 import json
 import sys
 
+from ..congest.faults import parse_fault_spec
 from ..congest.reference import ReferenceSimulator
 from ..congest.runtime import RuntimeSimulator
 from ..congest.simulator import CongestSimulator
@@ -87,6 +96,14 @@ def main(argv: list[str] | None = None) -> int:
         choices=("active", "reference", "runtime"),
         help="CONGEST execution mode for simulated phases (identical records)",
     )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        help="fault spec for simulated phases, e.g. 'drop=0.05,delay=0.02:3,crash=0.01:8'",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0, help="seed for the fault decision stream"
+    )
     parser.add_argument("--output", default=None, help="write records to this JSON file")
     parser.add_argument("--list", action="store_true", help="print the registries and exit")
     args = parser.parse_args(argv)
@@ -96,6 +113,12 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.jobs < 1:
         parser.error("--jobs must be at least 1")
+    faults = None
+    if args.faults is not None:
+        try:
+            faults = parse_fault_spec(args.faults)
+        except ValueError as error:
+            parser.error(f"--faults: {error}")
 
     cache = InstanceCache()
     scenarios = []
@@ -117,7 +140,14 @@ def main(argv: list[str] | None = None) -> int:
         "reference": ReferenceSimulator,
         "runtime": RuntimeSimulator,
     }[args.simulator]
-    records = run_matrix(scenarios, cache=cache, simulator_cls=simulator_cls, jobs=args.jobs)
+    records = run_matrix(
+        scenarios,
+        cache=cache,
+        simulator_cls=simulator_cls,
+        jobs=args.jobs,
+        faults=faults,
+        fault_seed=args.fault_seed,
+    )
     payload = json.dumps(records, indent=2, default=str)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

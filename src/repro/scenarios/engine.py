@@ -20,6 +20,15 @@ algorithm's BFS build and result broadcast) accept a simulator mode:
 :func:`run_scenario` / :func:`run_matrix` (and ``--simulator runtime`` on
 the CLI) is shorthand for the latter.  All three modes produce identical
 records -- only the wall-clock differs (see ``docs/simulator.md``).
+
+Those same simulated phases accept seeded fault injection: ``faults`` (a
+:class:`~repro.congest.faults.FaultModel` or a spec string such as
+``"drop=0.05,crash=0.01:8"``) plus ``fault_seed`` on :func:`run_scenario` /
+:func:`run_matrix` (``--faults`` / ``--fault-seed`` on the CLI).  Fault
+decisions are pure hashes of (seed, round, edge), so a faulty sweep is as
+deterministic -- and as pool-safe under ``jobs=N`` -- as a fail-free one,
+and identical across all three simulator modes.  A null model (all rates
+zero) is normalised away and reproduces fail-free records byte-for-byte.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
+from ..congest.faults import FaultModel, parse_fault_spec
 from ..congest.runtime import RuntimeSimulator
 from ..congest.simulator import CongestSimulator
 from ..core import core_enabled, networkx_reference_paths
@@ -124,11 +134,25 @@ def build_instance(
     return cache.get(name, merged, seed, lambda: spec.instantiate(merged, seed=seed))
 
 
+def _resolve_faults(faults: FaultModel | str | None) -> FaultModel | None:
+    """Normalise a ``faults`` argument: spec strings parse, null models drop.
+
+    Returning None for a null model means the fail-free code path runs
+    unchanged, so ``faults="drop=0"`` reproduces a no-faults sweep exactly.
+    """
+    if faults is None:
+        return None
+    model = parse_fault_spec(faults) if isinstance(faults, str) else faults
+    return None if model.is_null else model
+
+
 def run_scenario(
     scenario: Scenario,
     cache: InstanceCache | None = None,
     simulator_cls: type[CongestSimulator] = CongestSimulator,
     runtime: bool = False,
+    faults: FaultModel | str | None = None,
+    fault_seed: int = 0,
 ) -> ScenarioRecord:
     """Execute one scenario spec and return its record.
 
@@ -140,6 +164,11 @@ def run_scenario(
     :class:`~repro.congest.runtime.RuntimeSimulator` (shorthand for
     ``simulator_cls=RuntimeSimulator``); the record is identical to the
     per-node modes, only faster.
+
+    An active ``faults`` model (or spec string) is handed to the workload
+    runner together with ``fault_seed``; a null/absent model is not passed
+    at all, so fail-free records are unchanged.  Fault settings already in
+    ``scenario.algorithm_params`` win over the call-level arguments.
     """
     if runtime:
         simulator_cls = RuntimeSimulator
@@ -159,6 +188,11 @@ def run_scenario(
         parts = instance.parts(kind, **parts_spec)
     else:
         parts = ()
+    algorithm_params = dict(scenario.algorithm_params)
+    model = _resolve_faults(faults)
+    if model is not None:
+        algorithm_params.setdefault("faults", model)
+        algorithm_params.setdefault("fault_seed", fault_seed)
     record.result = runner.run(
         instance,
         instance.tree,
@@ -166,7 +200,7 @@ def run_scenario(
         spec.builder_for(instance),
         seed=scenario.seed,
         simulator_cls=simulator_cls,
-        **dict(scenario.algorithm_params),
+        **algorithm_params,
     )
     return record
 
@@ -230,9 +264,11 @@ def scenario_matrix(
 _WORKER_CACHE: InstanceCache | None = None
 
 
-def _run_scenario_job(payload: tuple[Scenario, type, bool]) -> dict[str, object]:
+def _run_scenario_job(
+    payload: tuple[Scenario, type, bool, FaultModel | None, int]
+) -> dict[str, object]:
     global _WORKER_CACHE
-    scenario, simulator_cls, use_core = payload
+    scenario, simulator_cls, use_core, faults, fault_seed = payload
     if _WORKER_CACHE is None:
         _WORKER_CACHE = InstanceCache()
     if not use_core:
@@ -240,9 +276,19 @@ def _run_scenario_job(payload: tuple[Scenario, type, bool]) -> dict[str, object]
         # in the worker (the flag is a module global, not inherited by spawn).
         with networkx_reference_paths():
             return run_scenario(
-                scenario, cache=_WORKER_CACHE, simulator_cls=simulator_cls
+                scenario,
+                cache=_WORKER_CACHE,
+                simulator_cls=simulator_cls,
+                faults=faults,
+                fault_seed=fault_seed,
             ).as_dict()
-    return run_scenario(scenario, cache=_WORKER_CACHE, simulator_cls=simulator_cls).as_dict()
+    return run_scenario(
+        scenario,
+        cache=_WORKER_CACHE,
+        simulator_cls=simulator_cls,
+        faults=faults,
+        fault_seed=fault_seed,
+    ).as_dict()
 
 
 def run_matrix(
@@ -251,6 +297,8 @@ def run_matrix(
     simulator_cls: type[CongestSimulator] = CongestSimulator,
     jobs: int = 1,
     runtime: bool = False,
+    faults: FaultModel | str | None = None,
+    fault_seed: int = 0,
 ) -> list[dict[str, object]]:
     """Run every scenario through a shared instance cache; return JSON records.
 
@@ -261,16 +309,32 @@ def run_matrix(
     to the serial one).  ``runtime=True`` is shorthand for
     ``simulator_cls=RuntimeSimulator`` (simulator classes pickle by
     reference, so the runtime mode fans out over the pool like the others).
+
+    ``faults``/``fault_seed`` apply one seeded fault model to every cell's
+    simulated phases.  Fault decisions are stateless hashes, and the resolved
+    :class:`~repro.congest.faults.FaultModel` (a frozen dataclass) pickles
+    into the workers, so a faulty parallel sweep remains record-for-record
+    identical to the serial one.
     """
     if runtime:
         simulator_cls = RuntimeSimulator
+    model = _resolve_faults(faults)
     scenarios = list(scenarios)
     if jobs is not None and jobs > 1 and len(scenarios) > 1:
-        payloads = [(scenario, simulator_cls, core_enabled()) for scenario in scenarios]
+        payloads = [
+            (scenario, simulator_cls, core_enabled(), model, fault_seed)
+            for scenario in scenarios
+        ]
         with ProcessPoolExecutor(max_workers=min(jobs, len(scenarios))) as pool:
             return list(pool.map(_run_scenario_job, payloads))
     cache = cache if cache is not None else InstanceCache()
     return [
-        run_scenario(scenario, cache=cache, simulator_cls=simulator_cls).as_dict()
+        run_scenario(
+            scenario,
+            cache=cache,
+            simulator_cls=simulator_cls,
+            faults=model,
+            fault_seed=fault_seed,
+        ).as_dict()
         for scenario in scenarios
     ]

@@ -31,7 +31,8 @@ from ..algorithms.mincut import approximate_min_cut
 from ..algorithms.mst import boruvka_mst, reference_mst_weight
 from ..congest.aggregation import partwise_aggregate
 from ..core import core_enabled, view_of
-from ..congest.primitives import broadcast_value, distributed_bfs_tree
+from ..congest.faults import FaultModel, FaultSchedule
+from ..congest.primitives import broadcast_value, distributed_bfs_tree, robust_bfs_tree
 from ..congest.simulator import CongestSimulator
 from ..graphs.apex_vortex import AlmostEmbeddableGraph, build_almost_embeddable
 from ..graphs.clique_sum import CliqueSumDecomposition, clique_sum_compose
@@ -400,6 +401,17 @@ def _telemetry_summary(*results) -> dict[str, int]:
     }
 
 
+def _note_faults(record: dict, faults: FaultModel | None, fault_seed: int) -> None:
+    """Stamp an *active* fault spec into a record.
+
+    Fail-free runs (``faults`` absent or null) leave the record untouched, so
+    golden records produced before the fault layer stay byte-identical.
+    """
+    if faults is not None and not faults.is_null:
+        record["faults"] = faults.as_dict()
+        record["fault_seed"] = fault_seed
+
+
 def _run_quality(
     instance: ScenarioInstance,
     tree: RootedTree,
@@ -408,11 +420,16 @@ def _run_quality(
     seed: int = 0,
     simulator_cls: type[CongestSimulator] = CongestSimulator,
     validate: bool = True,
+    faults: FaultModel | None = None,
+    fault_seed: int = 0,
 ) -> dict:
+    """Shortcut construction is centralised; ``faults`` is recorded, not applied."""
     shortcut = builder(instance.graph, tree, parts)
     if validate:
         shortcut.validate()
-    return {"shortcut": shortcut.measure().as_row(), "constructor": shortcut.constructor}
+    record = {"shortcut": shortcut.measure().as_row(), "constructor": shortcut.constructor}
+    _note_faults(record, faults, fault_seed)
+    return record
 
 
 def _run_aggregate(
@@ -422,17 +439,22 @@ def _run_aggregate(
     builder: ShortcutBuilder,
     seed: int = 0,
     simulator_cls: type[CongestSimulator] = CongestSimulator,
+    faults: FaultModel | None = None,
+    fault_seed: int = 0,
 ) -> dict:
+    """Schedule-level aggregation has no node programs; ``faults`` is recorded only."""
     shortcut = builder(instance.graph, tree, parts)
     values = {node: (index * 31 + seed) % 97 for index, node in enumerate(
         sorted(instance.graph.nodes(), key=repr)
     )}
     result = partwise_aggregate(shortcut, values, combine=min)
-    return {
+    record = {
         "shortcut": shortcut.measure().as_row(),
         "aggregation_rounds": result.rounds,
         "aggregation_messages": result.messages,
     }
+    _note_faults(record, faults, fault_seed)
+    return record
 
 
 def _run_mst(
@@ -442,6 +464,8 @@ def _run_mst(
     builder: ShortcutBuilder,
     seed: int = 0,
     simulator_cls: type[CongestSimulator] = CongestSimulator,
+    faults: FaultModel | None = None,
+    fault_seed: int = 0,
 ) -> dict:
     """Distributed MST: simulated BFS-tree build + Boruvka + result broadcast.
 
@@ -453,17 +477,34 @@ def _run_mst(
     :class:`~repro.core.GraphView`); inside
     :func:`repro.core.networkx_reference_paths` they run on the ``nx`` graph
     exactly as before the CoreGraph refactor.
+
+    An active ``faults`` model runs both simulated phases under one seeded
+    :class:`~repro.congest.faults.FaultSchedule`: the BFS build switches to
+    the retry-based :func:`~repro.congest.primitives.robust_bfs_tree` (its
+    graft-repair count is reported as ``bfs_repaired``) and the announcement
+    to the fault-tolerant broadcast.  Fault-only record fields appear *only*
+    in that case, so fail-free records are unchanged.
     """
     weighted = instance.weighted_graph(seed)
     network = view_of(weighted) if core_enabled() else weighted
     root = min(weighted.nodes(), key=repr)
+    schedule = None
+    if faults is not None and not faults.is_null:
+        schedule = FaultSchedule(faults, seed=fault_seed)
     started = time.perf_counter()
-    sim_tree, bfs_stats = distributed_bfs_tree(network, root, simulator_cls=simulator_cls)
+    if schedule is None:
+        sim_tree, bfs_stats = distributed_bfs_tree(network, root, simulator_cls=simulator_cls)
+        repaired = 0
+    else:
+        sim_tree, bfs_stats, repaired = robust_bfs_tree(
+            network, root, schedule, simulator_cls=simulator_cls
+        )
     sim_seconds = time.perf_counter() - started
     result = boruvka_mst(weighted, shortcut_builder=builder, tree=sim_tree)
     started = time.perf_counter()
     announce_stats = broadcast_value(
-        network, root, round(result.weight, 6), simulator_cls=simulator_cls
+        network, root, round(result.weight, 6),
+        simulator_cls=simulator_cls, fault_schedule=schedule,
     )
     sim_seconds += time.perf_counter() - started
     record = {
@@ -475,6 +516,18 @@ def _run_mst(
         "sim_seconds": sim_seconds,
     }
     record.update(_telemetry_summary(bfs_stats, announce_stats))
+    if schedule is not None:
+        _note_faults(record, faults, fault_seed)
+        record["bfs_repaired"] = repaired
+        record["sim_dropped"] = bfs_stats.dropped + announce_stats.dropped
+        record["sim_delayed"] = bfs_stats.delayed + announce_stats.delayed
+        record["sim_duplicated"] = bfs_stats.duplicated + announce_stats.duplicated
+        # Crash decisions are per node (same schedule drives both phases), so
+        # the distinct crash count is the max over phases, not the sum.
+        record["sim_crashed_nodes"] = max(
+            bfs_stats.crashed_nodes, announce_stats.crashed_nodes
+        )
+        record["announce_reached"] = len(announce_stats.outputs)
     return record
 
 
@@ -488,16 +541,21 @@ def _run_mincut(
     epsilon: float = 1.0,
     low: float = 1.0,
     high: float = 100.0,
+    faults: FaultModel | None = None,
+    fault_seed: int = 0,
 ) -> dict:
+    """Tree-packing min-cut is centralised; ``faults`` is recorded, not applied."""
     weighted = instance.weighted_graph(seed, low=low, high=high)
     result = approximate_min_cut(weighted, epsilon=epsilon, shortcut_builder=builder, tree=tree)
-    return {
+    record = {
         "mincut_value": result.value,
         "mincut_exact": result.exact_value,
         "approximation_ratio": result.approximation_ratio,
         "mincut_rounds": result.rounds,
         "num_trees": result.num_trees,
     }
+    _note_faults(record, faults, fault_seed)
+    return record
 
 
 register_algorithm(AlgorithmSpec(

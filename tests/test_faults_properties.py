@@ -1,0 +1,138 @@
+"""Property-based tests (hypothesis) for the fault-injection layer.
+
+Random fault models -- arbitrary mixes of drop/delay/duplicate/crash/shuffle
+at random rates and seeds -- must never violate the simulator invariants
+documented in docs/simulator.md:
+
+* telemetry has one row per round, 1-based and contiguous;
+* no counter is ever negative, and the result totals equal the column sums
+  of the telemetry (the accounting identity
+  ``delivered = messages - dropped + duplicated`` stays non-negative);
+* outputs come only from live (never-crashed) nodes;
+* the same (model, seed) pair reproduces the identical result, and all
+  three simulator modes agree on it;
+* a fail-free (null) model is normalised away and reproduces today's
+  results bit-for-bit, whatever the fault seed.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.congest import (
+    CongestSimulator,
+    FaultModel,
+    FaultSchedule,
+    ReferenceSimulator,
+    RuntimeSimulator,
+    flood_max_id,
+    robust_bfs_tree,
+)
+from repro.core import view_of
+from repro.graphs.planar import grid_graph
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+_RATES = st.floats(min_value=0.0, max_value=0.3, allow_nan=False)
+
+
+@st.composite
+def fault_models(draw):
+    """An arbitrary mix of the built-in fault kinds at bounded rates."""
+    return FaultModel(
+        drop=draw(_RATES),
+        delay=draw(_RATES),
+        max_delay=draw(st.integers(min_value=1, max_value=4)),
+        duplicate=draw(_RATES),
+        crash=draw(st.floats(min_value=0.0, max_value=0.15, allow_nan=False)),
+        crash_window=draw(st.integers(min_value=1, max_value=8)),
+        shuffle=draw(st.booleans()),
+    )
+
+
+def _grid_view(side=4):
+    return view_of(grid_graph(side, side))
+
+
+def _check_invariants(result, view, schedule):
+    rounds = [row.round for row in result.telemetry]
+    assert rounds == list(range(1, len(rounds) + 1)), "telemetry rows not contiguous"
+    for row in result.telemetry:
+        for value in (row.active_nodes, row.messages, row.words,
+                      row.dropped, row.delayed, row.duplicated, row.crashed):
+            assert value >= 0, "negative telemetry counter"
+    assert result.messages == sum(row.messages for row in result.telemetry)
+    assert result.words == sum(row.words for row in result.telemetry)
+    assert result.dropped == sum(row.dropped for row in result.telemetry)
+    assert result.delayed == sum(row.delayed for row in result.telemetry)
+    assert result.duplicated == sum(row.duplicated for row in result.telemetry)
+    assert result.crashed_nodes == sum(row.crashed for row in result.telemetry)
+    assert result.dropped <= result.messages, "dropped more than was sent"
+    assert result.messages - result.dropped + result.duplicated >= 0
+    assert 0 <= result.rounds <= len(result.telemetry)
+    # Outputs come only from live nodes: anything the schedule crashed
+    # within the run is absent from the output map.
+    crashed_in_run = {
+        index
+        for index in range(len(view.nodes))
+        if (crash := schedule.crash_round(index)) is not None
+        and crash <= len(result.telemetry)
+    }
+    for label in result.outputs:
+        assert view.index_of(label) not in crashed_in_run
+
+
+@SETTINGS
+@given(model=fault_models(), seed=st.integers(min_value=0, max_value=2**32))
+def test_random_schedules_preserve_simulator_invariants(model, seed):
+    view = _grid_view()
+    schedule = FaultSchedule(model, seed=seed)
+    _, result = flood_max_id(view, fault_schedule=schedule)
+    _check_invariants(result, view, schedule)
+
+
+@SETTINGS
+@given(model=fault_models(), seed=st.integers(min_value=0, max_value=2**32))
+def test_robust_bfs_under_random_schedules(model, seed):
+    view = _grid_view()
+    schedule = FaultSchedule(model, seed=seed)
+    tree, result, repaired = robust_bfs_tree(view, 0, schedule)
+    _check_invariants(result, view, schedule)
+    assert repaired >= 0
+    # Whatever the schedule did, the repaired tree spans the network.
+    assert set(tree.parent) == set(view.nodes)
+
+
+@SETTINGS
+@given(model=fault_models(), seed=st.integers(min_value=0, max_value=2**32))
+def test_same_schedule_reproduces_identical_results(model, seed):
+    view = _grid_view()
+    first = flood_max_id(view, fault_schedule=FaultSchedule(model, seed=seed))
+    second = flood_max_id(view, fault_schedule=FaultSchedule(model, seed=seed))
+    assert first == second
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+@given(model=fault_models(), seed=st.integers(min_value=0, max_value=2**32))
+def test_three_modes_agree_under_random_schedules(model, seed):
+    view = _grid_view()
+    outcomes = [
+        flood_max_id(view, simulator_cls=cls, fault_schedule=FaultSchedule(model, seed=seed))
+        for cls in (CongestSimulator, ReferenceSimulator, RuntimeSimulator)
+    ]
+    assert outcomes[0] == outcomes[1] == outcomes[2]
+
+
+@SETTINGS
+@given(seed=st.integers(min_value=0, max_value=2**32))
+def test_null_models_reproduce_fail_free_results_bit_for_bit(seed):
+    view = _grid_view()
+    fail_free = flood_max_id(view)
+    nulled = flood_max_id(view, fault_schedule=FaultSchedule(FaultModel(), seed=seed))
+    assert nulled == fail_free
