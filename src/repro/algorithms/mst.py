@@ -73,7 +73,7 @@ from typing import Callable, Hashable, Sequence
 
 import networkx as nx
 
-from ..core import PartSet, core_enabled, view_of
+from ..core import GraphView, PartSet, core_enabled, view_of
 from ..errors import ConvergenceError
 from ..graphs.weights import WEIGHT
 from ..congest.aggregation import partwise_aggregate, partwise_aggregate_indexed
@@ -138,12 +138,37 @@ def reference_mst_weight(graph: nx.Graph) -> float:
     return sum(graph[u][v].get(WEIGHT, 1.0) for u, v in tree.edges())
 
 
+def native_mst_weight(view: GraphView) -> float:
+    """Return the reference MST weight of a native instance, nx-free.
+
+    The :class:`~repro.core.GraphView` twin of :func:`reference_mst_weight`:
+    hands the CSR arrays to ``scipy.sparse.csgraph.minimum_spanning_tree``,
+    so million-node instances can be validated without materialising an
+    ``nx.Graph``.  Requires strictly positive weights (scipy's CSR MST
+    treats explicit zeros as absent edges); every weight scheme in this
+    package draws from ``[low, high]`` with ``low >= 1``.  The float sum may
+    differ from the distributed result in the last ulps at large ``n``
+    (different summation order), so callers compare with a relative
+    tolerance rather than the exact equality the integer-weight nx oracle
+    affords.
+    """
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import minimum_spanning_tree
+
+    core = view.core
+    matrix = csr_matrix(
+        (core.weights, core.indices, core.indptr),
+        shape=(core.num_nodes, core.num_nodes),
+    )
+    return float(minimum_spanning_tree(matrix).sum())
+
+
 def _edge_weight(graph: nx.Graph, u: Hashable, v: Hashable) -> float:
     return graph[u][v].get(WEIGHT, 1.0)
 
 
 def boruvka_mst(
-    graph: nx.Graph,
+    graph: nx.Graph | GraphView,
     shortcut_builder: ShortcutBuilder | None = None,
     tree: RootedTree | None = None,
     max_phases: int | None = None,
@@ -154,7 +179,14 @@ def boruvka_mst(
     Args:
         graph: connected weighted network graph (``weight`` edge attribute;
             missing weights default to 1; ties are broken by edge identity so
-            the algorithm is deterministic).
+            the algorithm is deterministic).  Accepts a weighted
+            :class:`~repro.core.GraphView` directly (the native generators'
+            output): the fast path then reads weights straight from the CSR
+            arrays and never materialises an ``nx.Graph`` -- the million-node
+            configuration of the S7 scale gate.  A view requires an
+            engine-driven builder (the default); the reference path under
+            :func:`repro.core.networkx_reference_paths` materialises the
+            adapter graph.
         shortcut_builder: how each phase obtains its shortcut; defaults to the
             structure-oblivious constructor.
         tree: the global spanning tree ``T`` used for T-restriction and for
@@ -177,6 +209,8 @@ def boruvka_mst(
         return _boruvka_mst_core(
             graph, shortcut_builder, tree, max_phases, validate_shortcuts
         )
+    if isinstance(graph, GraphView):
+        graph = graph.graph  # reference path runs on the (lazy) nx adapter
     return _boruvka_mst_reference(
         graph, shortcut_builder, tree, max_phases, validate_shortcuts
     )
@@ -211,15 +245,26 @@ def _boruvka_mst_core(
     # (the README quickstart does), and the reference path sees those live.
     node_repr = [repr(label) for label in node_of]
     slot_key = [""] * len(indices)
-    edge_weights = [1.0] * len(indices)
-    for u in range(n):
-        ru = node_repr[u]
-        adjacency = graph.adj[node_of[u]]
-        for offset in range(indptr[u], indptr[u + 1]):
-            v = indices[offset]
-            rv = node_repr[v]
-            slot_key[offset] = f"({ru}, {rv})" if ru <= rv else f"({rv}, {ru})"
-            edge_weights[offset] = adjacency[node_of[v]].get(WEIGHT, 1.0)
+    if isinstance(graph, GraphView):
+        # Native instances carry their weights in the CSR arrays themselves
+        # (the view is the primary representation -- there is no nx graph to
+        # re-read, and weights are baked in at generation time).
+        edge_weights = core._weights_list
+        for u in range(n):
+            ru = node_repr[u]
+            for offset in range(indptr[u], indptr[u + 1]):
+                rv = node_repr[indices[offset]]
+                slot_key[offset] = f"({ru}, {rv})" if ru <= rv else f"({rv}, {ru})"
+    else:
+        edge_weights = [1.0] * len(indices)
+        for u in range(n):
+            ru = node_repr[u]
+            adjacency = graph.adj[node_of[u]]
+            for offset in range(indptr[u], indptr[u + 1]):
+                v = indices[offset]
+                rv = node_repr[v]
+                slot_key[offset] = f"({ru}, {rv})" if ru <= rv else f"({rv}, {ru})"
+                edge_weights[offset] = adjacency[node_of[v]].get(WEIGHT, 1.0)
 
     # Fragment state: a flat owner array (vertex index -> fragment root) and
     # incrementally merged member lists.  Roots are the minimum vertex index
@@ -231,6 +276,9 @@ def _boruvka_mst_core(
     roots = list(range(n))
 
     mst_edges: set[tuple[Hashable, Hashable]] = set()
+    # Weight of each accepted MWOE, recorded at merge time: for GraphView
+    # inputs there is no nx adjacency to re-read the final sum from.
+    merge_weight: dict[tuple[Hashable, Hashable], float] = {}
     total_rounds = 0
     phase_rounds: list[int] = []
     phase_qualities: list[int] = []
@@ -309,7 +357,9 @@ def _boruvka_mst_core(
             if ru == rv:
                 continue
             union[max(ru, rv)] = min(ru, rv)
-            mst_edges.add(canonical_edge(node_of[u], node_of[v]))
+            edge = canonical_edge(node_of[u], node_of[v])
+            mst_edges.add(edge)
+            merge_weight[edge] = weight
             merged_any = True
         if not merged_any:
             raise ConvergenceError("Boruvka phase made no progress; graph may be disconnected")
@@ -329,7 +379,10 @@ def _boruvka_mst_core(
         if len(roots) > 1:
             raise ConvergenceError("Boruvka did not converge within the phase budget")
 
-    weight = sum(_edge_weight(graph, u, v) for u, v in mst_edges)
+    if isinstance(graph, GraphView):
+        weight = sum(merge_weight[edge] for edge in mst_edges)
+    else:
+        weight = sum(_edge_weight(graph, u, v) for u, v in mst_edges)
     return MstResult(
         edges=frozenset(mst_edges),
         weight=weight,

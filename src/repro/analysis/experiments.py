@@ -24,17 +24,18 @@ from typing import Sequence
 import networkx as nx
 
 from ..algorithms.mincut import approximate_min_cut
-from ..algorithms.mst import boruvka_mst, reference_mst_weight
+from ..algorithms.mst import boruvka_mst, native_mst_weight, reference_mst_weight
 from ..algorithms.mst_baselines import (
     gkp_reference_rounds,
     no_shortcut_builder,
     paper_reference_rounds,
 )
 from ..congest.faults import FaultModel
+from ..congest.primitives import broadcast_value, distributed_bfs_tree
 from ..congest.reference import ReferenceSimulator
 from ..congest.runtime import RuntimeSimulator
 from ..congest.simulator import CongestSimulator
-from ..core import networkx_reference_paths, view_of
+from ..core import networkx_reference_paths, nx_materializations, view_of
 from ..graphs.apex_vortex import build_almost_embeddable
 from ..graphs.clique_sum import clique_sum_compose
 from ..graphs.minor_free import perturbed_planar_graph
@@ -47,6 +48,7 @@ from ..shortcuts.apex import apex_shortcut, apex_shortcut_from_witness
 from ..shortcuts.baseline import empty_shortcut, steiner_shortcut
 from ..shortcuts.clique_sum import clique_sum_shortcut
 from ..shortcuts.congestion_capped import oblivious_shortcut
+from ..shortcuts.engine import ConstructionEngine
 from ..shortcuts.minor_free import minor_free_quality_bounds
 from ..shortcuts.parts import path_parts
 from ..shortcuts.planar import planar_quality_bounds
@@ -927,4 +929,104 @@ def experiment_construction_speedup(
         "speedup": reference_seconds / max(fast_seconds, 1e-9),
         "results_agree": agree,
         "measure": fast_shortcut.measure().as_row(),
+    }
+
+
+def experiment_native_scale(
+    side: int = 1000,
+    seed: int = 7,
+    num_parts: int = 64,
+    shortcut_budget: int = 16,
+) -> dict:
+    """S7 -- the CSR-native instance pipeline at million-node scale, nx-free.
+
+    Builds a ``side x side`` grid straight into CSR form through the scenario
+    registry's native builder (``build_instance(..., native=True)``), then
+    pushes the one instance through every layer the engine composes: BFS
+    spanning tree, tree-fragment parts, :class:`ConstructionEngine` quality
+    sweep + shortcut build, hashed-weight engine MST checked against the
+    scipy oracle, and the vectorized-runtime BFS + broadcast simulation.
+    No ``nx.Graph`` may ever materialise -- the record carries the adapter's
+    materialisation delta so ``benchmarks/bench_s7_scale.py`` can gate it at
+    zero alongside the wall-clock and peak-RSS budgets.  Every row carries
+    ``schema`` so the trajectory file can shed rows from older layouts.
+    """
+    import resource
+
+    nx_before = nx_materializations()
+    started = time.perf_counter()
+
+    t0 = time.perf_counter()
+    instance = build_instance("planar", {"side": side}, seed=seed, native=True)
+    view = instance.view
+    build_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    tree = instance.tree
+    tree_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    part_set = instance.part_set("tree_fragments", num_parts=num_parts, seed=seed)
+    parts_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    engine = ConstructionEngine(view, tree, part_set=part_set)
+    quality = engine.quality_sweep([shortcut_budget])[shortcut_budget]
+    engine.build_shortcut(shortcut_budget)
+    shortcut_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    weighted = instance.weighted_graph(seed)
+    mst = boruvka_mst(weighted, tree=tree)
+    mst_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    oracle = native_mst_weight(weighted)
+    oracle_seconds = time.perf_counter() - t0
+
+    root = min(view.nodes, key=repr)
+    t0 = time.perf_counter()
+    bfs_tree, bfs_stats = distributed_bfs_tree(
+        view, root, simulator_cls=RuntimeSimulator
+    )
+    bfs_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    broadcast_stats = broadcast_value(
+        view, root, round(mst.weight, 6), simulator_cls=RuntimeSimulator
+    )
+    broadcast_seconds = time.perf_counter() - t0
+
+    peak_rss_mib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    return {
+        "schema": "s7-native-scale/1",
+        "experiment": "S7-native-scale",
+        "side": side,
+        "n": view.core.num_nodes,
+        "m": view.core.num_edges,
+        "seed": seed,
+        "num_parts": num_parts,
+        "shortcut_budget": shortcut_budget,
+        "build_seconds": build_seconds,
+        "tree_seconds": tree_seconds,
+        "tree_height": tree.height,
+        "parts_seconds": parts_seconds,
+        "shortcut_seconds": shortcut_seconds,
+        "shortcut_quality": quality,
+        "mst_seconds": mst_seconds,
+        "mst_rounds": mst.rounds,
+        "mst_phases": mst.phases,
+        "mst_weight": mst.weight,
+        "mst_weight_matches_oracle": bool(
+            abs(mst.weight - oracle) <= 1e-9 * max(1.0, abs(oracle))
+        ),
+        "oracle_seconds": oracle_seconds,
+        "bfs_seconds": bfs_seconds,
+        "bfs_rounds": bfs_stats.rounds,
+        "bfs_tree_height": bfs_tree.height,
+        "broadcast_seconds": broadcast_seconds,
+        "broadcast_rounds": broadcast_stats.rounds,
+        "nx_materializations": nx_materializations() - nx_before,
+        "peak_rss_mib": peak_rss_mib,
+        "total_seconds": time.perf_counter() - started,
     }

@@ -172,7 +172,7 @@ def distributed_bfs_tree(
         }
     parent[root] = None
     tree = RootedTree(parent, root)
-    tree.validate(view.graph if view is not None else graph)
+    tree.validate(view if view is not None else graph)
     return tree, result
 
 
@@ -377,7 +377,7 @@ def robust_bfs_tree(
     parent[root] = None
     repaired = _graft_unreached(nodes, parent, root, neighbours_of)
     tree = RootedTree(parent, root)
-    tree.validate(view.graph if view is not None else graph)
+    tree.validate(view if view is not None else graph)
     return tree, result, repaired
 
 

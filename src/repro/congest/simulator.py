@@ -182,7 +182,7 @@ class CongestSimulator:
             return
         require_connected(graph, "network graph")
         require_simple(graph, "network graph")
-        self.graph = graph
+        self._graph = graph
         self._neighbour_sets = None
         n = graph.number_of_nodes()
         # Deterministic node order, independent of graph insertion order.
@@ -217,7 +217,7 @@ class CongestSimulator:
             raise InvalidGraphError("network graph is empty")
         if not core.is_connected():
             raise InvalidGraphError("network graph is not connected")
-        self.graph = view.graph
+        self._graph = None  # lazy: materialised only if .graph is read
         n = core.num_nodes
         # Index order == repr order of the labels, so this *is* the canonical
         # deterministic order; ints sort natively (no rank map needed).
@@ -265,7 +265,7 @@ class CongestSimulator:
             raise InvalidGraphError("network graph is empty")
         if not core.is_connected():
             raise InvalidGraphError("network graph is not connected")
-        self.graph = view.graph
+        self._graph = None  # lazy: materialised only if .graph is read
         self._order = list(range(core.num_nodes))
         self._rank = None
         self._sort_key = None
@@ -288,6 +288,19 @@ class CongestSimulator:
                 "(no compile_runtime hook); run it under the per-node modes instead"
             )
         self._runtime_program = compile_hook(self)
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The network as an ``nx.Graph``, materialised on demand.
+
+        In core and runtime mode the simulator runs entirely on the view's
+        CSR arrays; the ``nx`` adapter graph is only built (lazily, through
+        :attr:`GraphView.graph`) if something actually reads this attribute,
+        so native million-node simulations never construct one.
+        """
+        if self._graph is None:
+            self._graph = self._view.graph
+        return self._graph
 
     def _resolve_diameter_bound(self) -> int:
         if self._diameter_bound is None:

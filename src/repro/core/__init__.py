@@ -24,7 +24,7 @@ from contextlib import contextmanager
 
 from .graph import CoreGraph
 from .partset import PartSet, part_connected, part_set_of
-from .view import GraphView, view_of
+from .view import GraphView, nx_materializations, view_of
 
 _CORE_ENABLED = True
 
@@ -62,6 +62,7 @@ __all__ = [
     "PartSet",
     "core_enabled",
     "networkx_reference_paths",
+    "nx_materializations",
     "part_connected",
     "part_set_of",
     "view_of",

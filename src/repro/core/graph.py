@@ -93,6 +93,64 @@ class CoreGraph:
         self._indices_list = indices
         self._weights_list = weights
 
+    @classmethod
+    def from_csr(
+        cls,
+        indptr,
+        indices,
+        weights=None,
+        sort_neighbours: bool = True,
+    ) -> "CoreGraph":
+        """Build a :class:`CoreGraph` directly from prebuilt CSR arrays.
+
+        This is the fast constructor behind the native generators
+        (:mod:`repro.graphs.native`): assembling a million-node grid
+        through :meth:`__init__`'s dict-of-dicts path costs tens of
+        seconds, while adopting already-symmetric arrays is a copy.
+
+        Args:
+            indptr: row pointers, length ``n + 1``, ``indptr[0] == 0`` and
+                non-decreasing.
+            indices: column indices, length ``indptr[-1]``; the arrays must
+                already be symmetric (every edge present in both rows) with
+                no self-loops, and each row ascending when
+                ``sort_neighbours`` is ``True``.  Only cheap O(1) shape
+                checks run here -- the vectorised generators guarantee the
+                invariants, and the property tests re-verify them.
+            weights: optional weight array parallel to ``indices``
+                (defaults to unit weights).
+            sort_neighbours: whether the supplied rows are in ascending
+                index order (the canonical layout).
+
+        Accepts numpy arrays or Python lists; the arrays are stored as
+        flat Python lists (``tolist()``), matching :meth:`__init__`.
+        """
+        indptr_list = indptr.tolist() if isinstance(indptr, np.ndarray) else list(indptr)
+        indices_list = indices.tolist() if isinstance(indices, np.ndarray) else list(indices)
+        if weights is None:
+            weights_list = [1.0] * len(indices_list)
+        else:
+            weights_list = (
+                weights.tolist() if isinstance(weights, np.ndarray) else list(weights)
+            )
+        num_nodes = len(indptr_list) - 1
+        if num_nodes < 0:
+            raise InvalidGraphError("from_csr needs an indptr of length >= 1")
+        if indptr_list and (indptr_list[0] != 0 or indptr_list[-1] != len(indices_list)):
+            raise InvalidGraphError("from_csr: indptr does not span the indices array")
+        if len(weights_list) != len(indices_list):
+            raise InvalidGraphError("from_csr: weights not parallel to indices")
+        if len(indices_list) % 2:
+            raise InvalidGraphError("from_csr: odd directed-edge count (not symmetric)")
+        graph = cls.__new__(cls)
+        graph.num_nodes = num_nodes
+        graph.num_edges = len(indices_list) // 2
+        graph.sorted_adjacency = sort_neighbours
+        graph._indptr_list = indptr_list
+        graph._indices_list = indices_list
+        graph._weights_list = weights_list
+        return graph
+
     # -- accessors ---------------------------------------------------------
 
     @property

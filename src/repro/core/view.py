@@ -30,15 +30,24 @@ from typing import Hashable
 import networkx as nx
 
 from ..errors import InvalidGraphError
-from ..graphs.weights import WEIGHT
 from .graph import CoreGraph
+
+# The edge-weight attribute name, kept in sync with
+# ``repro.graphs.weights.WEIGHT``.  Imported lazily in ``__init__`` rather
+# than at module level: ``repro.graphs`` imports ``repro.core`` (for the
+# native generators), so a module-level import here would be circular.
 
 
 class GraphView:
     """A one-time conversion of an ``nx.Graph`` into an int-indexed CSR kernel.
 
     Attributes:
-        graph: the source ``nx.Graph`` (kept by reference, never copied).
+        graph: the source ``nx.Graph``.  For views built from an existing
+            graph this is that graph (kept by reference, never copied); for
+            views built natively via :meth:`from_core` it is a *lazy
+            adapter* -- the ``nx.Graph`` is materialised on first access
+            (and counted, see :func:`nx_materializations`), so CSR-native
+            pipelines that never touch ``.graph`` never build one.
         core: the :class:`CoreGraph` over indices ``0 .. n-1``.
         nodes: the label of every index, i.e. ``nodes[i]`` is the node whose
             index is ``i``; sorted by ``repr`` so that index order equals
@@ -46,7 +55,7 @@ class GraphView:
     """
 
     __slots__ = (
-        "graph",
+        "_graph",
         "core",
         "nodes",
         "_index",
@@ -56,6 +65,8 @@ class GraphView:
     )
 
     def __init__(self, graph: nx.Graph, sort_neighbours: bool = True) -> None:
+        from ..graphs.weights import WEIGHT
+
         labels = sorted(graph.nodes(), key=repr)
         index: dict[Hashable, int] = {label: i for i, label in enumerate(labels)}
         if len(index) != len(labels):
@@ -71,7 +82,7 @@ class GraphView:
             else:
                 has_weights = True
             edges.append((index[u], index[v], weight))
-        self.graph = graph
+        self._graph = graph
         self.nodes = labels
         self._index = index
         self._has_weights = has_weights
@@ -82,6 +93,69 @@ class GraphView:
         # view alive forever.
         self._part_sets: dict = {}
         self.core = CoreGraph(len(labels), edges, sort_neighbours=sort_neighbours)
+
+    @classmethod
+    def from_core(
+        cls,
+        core: CoreGraph,
+        nodes: list[Hashable] | None = None,
+        has_weights: bool = False,
+    ) -> "GraphView":
+        """Wrap an already-built :class:`CoreGraph` in a view, nx-free.
+
+        This is the native-generator entry point: the CSR arrays are the
+        *primary* representation and ``networkx`` becomes an on-demand
+        adapter -- ``view.graph`` materialises an ``nx.Graph`` lazily on
+        first access (incrementing :func:`nx_materializations`).
+
+        Args:
+            core: the CSR graph over indices ``0 .. n-1``.
+            nodes: the label of every index, already in the package-wide
+                canonical order (sorted by ``repr``); defaults to
+                ``list(range(n))`` *only when that is canonical* (n <= 10,
+                where integer order and repr order coincide) -- native
+                generators at scale must supply the permuted labels.
+            has_weights: whether the weights are explicit (round-tripped to
+                ``weight`` attributes on materialisation) or implicit units.
+        """
+        if nodes is None:
+            if core.num_nodes > 10:
+                raise InvalidGraphError(
+                    "from_core needs explicit labels for n > 10 (repr order "
+                    "of integers differs from numeric order)"
+                )
+            nodes = list(range(core.num_nodes))
+        if len(nodes) != core.num_nodes:
+            raise InvalidGraphError("from_core: label list does not match vertex count")
+        view = cls.__new__(cls)
+        view._graph = None
+        view.core = core
+        view.nodes = list(nodes)
+        view._index = {label: i for i, label in enumerate(view.nodes)}
+        if len(view._index) != len(view.nodes):
+            raise InvalidGraphError("from_core: duplicate node labels")
+        view._has_weights = has_weights
+        view._part_sets = {}
+        return view
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The ``nx.Graph`` behind the view, materialised on demand.
+
+        Views built from an ``nx.Graph`` return it unchanged; native views
+        build it (once) through :meth:`to_networkx` and memoise it, wiring
+        the ``view_of`` back-pointer so ``view_of(view.graph) is view``.
+        """
+        if self._graph is None:
+            rebuilt = self.to_networkx()
+            setattr(rebuilt, _VIEW_ATTR, self)
+            self._graph = rebuilt
+        return self._graph
+
+    @property
+    def has_weights(self) -> bool:
+        """Whether the edges carry explicit weights (vs. implicit units)."""
+        return self._has_weights
 
     # -- the bijection -----------------------------------------------------
 
@@ -116,7 +190,14 @@ class GraphView:
         source graph carried any explicit ``weight`` attribute (a graph that
         had none round-trips to a graph with none, so unit-weight semantics
         are preserved either way).
+
+        Every call increments the package-wide materialisation counter
+        (:func:`nx_materializations`): the scale tests assert the counter
+        stays flat across the native million-node pipeline, which is the
+        executable form of the "nx is an on-demand adapter" contract.
         """
+        global _NX_MATERIALIZATIONS
+        _NX_MATERIALIZATIONS += 1
         rebuilt = nx.Graph()
         rebuilt.add_nodes_from(self.nodes)
         node_of = self.nodes
@@ -144,6 +225,21 @@ class GraphView:
 # frozen once viewed -- every caller in this package mutates weights *before*
 # deriving structures, and the scenario layer documents the convention.
 _VIEW_ATTR = "_repro_graph_view"
+
+# Running count of nx.Graph materialisations performed by the adapter
+# (GraphView.to_networkx, including lazy ``view.graph`` accesses).  The
+# tier-1 scale smoke test and the S7 gate take a delta around the native
+# pipeline and assert it is zero.
+_NX_MATERIALIZATIONS = 0
+
+
+def nx_materializations() -> int:
+    """Return the number of ``nx.Graph``s built by the adapter so far.
+
+    A monotone counter; callers interested in "did *this* code path touch
+    networkx?" record the value before and after and compare deltas.
+    """
+    return _NX_MATERIALIZATIONS
 
 
 def view_of(graph: nx.Graph | GraphView) -> GraphView:

@@ -18,6 +18,9 @@ subpackage provides constructive generators for each ingredient:
 * :mod:`repro.graphs.lower_bound` -- the Omega(sqrt n) hard instance used as the
   general-graph baseline workload
 * :mod:`repro.graphs.weights`     -- edge weight assignment helpers
+* :mod:`repro.graphs.native`      -- CSR-native generators that emit
+  :class:`~repro.core.CoreGraph` directly (million-node instances; each is
+  pinned exactly equal to its preserved ``nx`` twin)
 """
 
 from .planar import (
@@ -44,9 +47,31 @@ from .clique_sum import Bag, CliqueSumDecomposition, clique_sum_compose
 from .minor_free import MinorFreeGraph, planar_plus_apex, sample_lk_graph
 from .minors import excludes_minor, has_minor
 from .lower_bound import lower_bound_graph
-from .weights import assign_adversarial_weights, assign_random_weights, assign_unit_weights
+from .weights import (
+    assign_adversarial_weights,
+    assign_hashed_weights,
+    assign_random_weights,
+    assign_unit_weights,
+    hashed_edge_weight,
+    hashed_weights_array,
+)
+from .native import (
+    NATIVE_GENERATORS,
+    clique_sum_chain_reference,
+    ktree_chain_reference,
+    native_clique_sum_chain,
+    native_cycle,
+    native_cylinder,
+    native_delaunay,
+    native_grid,
+    native_ktree_chain,
+    native_star,
+    native_wheel,
+    string_argsort,
+)
 
 __all__ = [
+    "NATIVE_GENERATORS",
     "AlmostEmbeddableGraph",
     "Bag",
     "CliqueSumDecomposition",
@@ -56,17 +81,30 @@ __all__ = [
     "add_apices",
     "add_vortex",
     "assign_adversarial_weights",
+    "assign_hashed_weights",
     "assign_random_weights",
     "assign_unit_weights",
     "build_almost_embeddable",
+    "clique_sum_chain_reference",
     "clique_sum_compose",
     "cycle_graph",
     "excludes_minor",
     "genus_grid",
     "grid_graph",
     "has_minor",
+    "hashed_edge_weight",
+    "hashed_weights_array",
     "is_planar",
+    "ktree_chain_reference",
     "lower_bound_graph",
+    "native_clique_sum_chain",
+    "native_cycle",
+    "native_cylinder",
+    "native_delaunay",
+    "native_grid",
+    "native_ktree_chain",
+    "native_star",
+    "native_wheel",
     "planar_embedding",
     "planar_plus_apex",
     "random_delaunay_triangulation",
@@ -76,6 +114,7 @@ __all__ = [
     "random_series_parallel_graph",
     "sample_lk_graph",
     "star_graph",
+    "string_argsort",
     "toroidal_grid",
     "wheel_graph",
 ]

@@ -55,6 +55,100 @@ def assign_random_weights(
     return graph
 
 
+# ---------------------------------------------------------------------------
+# Hash-based weights: the order-independent scheme behind the native path.
+#
+# ``assign_random_weights`` draws from a *sequential* RNG over the repr-sorted
+# edge list, which cannot be reproduced by a vectorised draw into a flat
+# array.  The hashed scheme instead derives each weight from a splitmix64-style
+# mix of ``(seed, min(u, v), max(u, v))`` over integer node labels, so the
+# same float comes out whether it is computed one edge at a time on an
+# ``nx.Graph`` (:func:`assign_hashed_weights`, the reference twin) or for two
+# million edges at once into a numpy array
+# (:func:`hashed_weights_array`, used by :mod:`repro.graphs.native`).  The
+# differential tests pin the two paths bit-for-bit equal.
+# ---------------------------------------------------------------------------
+
+_MASK64 = (1 << 64) - 1
+_MIX_A = 0xBF58476D1CE4E5B9
+_MIX_B = 0x94D049BB133111EB
+_SEED_C = 0x9E3779B97F4A7C15
+_U_C = 0xD1B54A32D192ED03
+_V_C = 0x8CB92BA72F3D8DD7
+
+
+def hashed_edge_weight(
+    u: int,
+    v: int,
+    seed: int,
+    low: float = 1.0,
+    high: float = 100.0,
+    integer: bool = False,
+) -> float:
+    """Return the seeded hash weight of edge ``(u, v)`` (scalar reference path).
+
+    ``u`` and ``v`` are integer node labels; the value is symmetric in the
+    endpoints.  Float mode maps 53 hash bits uniformly onto ``[low, high)``;
+    integer mode returns ``float`` integers uniform on ``int(low) ..
+    int(high)`` (ties are possible, which the MST tie-breaking on canonical
+    edge keys already handles).
+    """
+    a, b = (u, v) if u <= v else (v, u)
+    z = (seed * _SEED_C + a * _U_C + b * _V_C) & _MASK64
+    z = ((z ^ (z >> 30)) * _MIX_A) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX_B) & _MASK64
+    z ^= z >> 31
+    if integer:
+        span = int(high) - int(low) + 1
+        return float(int(low) + z % span)
+    return low + (high - low) * (float(z >> 11) * 2.0**-53)
+
+
+def hashed_weights_array(
+    u,
+    v,
+    seed: int,
+    low: float = 1.0,
+    high: float = 100.0,
+    integer: bool = False,
+):
+    """Vectorised :func:`hashed_edge_weight` over parallel label arrays.
+
+    ``u`` / ``v`` are integer numpy arrays of endpoint labels; returns a
+    ``float64`` array bit-for-bit equal to calling the scalar twin per edge.
+    """
+    import numpy as np
+
+    a = np.minimum(u, v).astype(np.uint64)
+    b = np.maximum(u, v).astype(np.uint64)
+    z = np.uint64((seed * _SEED_C) & _MASK64)
+    z = z + a * np.uint64(_U_C) + b * np.uint64(_V_C)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(_MIX_A)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(_MIX_B)
+    z = z ^ (z >> np.uint64(31))
+    if integer:
+        span = np.uint64(int(high) - int(low) + 1)
+        return float(int(low)) + (z % span).astype(np.float64)
+    return low + (high - low) * ((z >> np.uint64(11)).astype(np.float64) * 2.0**-53)
+
+
+def assign_hashed_weights(
+    graph: nx.Graph,
+    seed: int,
+    low: float = 1.0,
+    high: float = 100.0,
+    integer: bool = False,
+) -> nx.Graph:
+    """Assign order-independent hashed weights (in place) and return the graph.
+
+    The ``nx`` twin of the native generators' vectorised weight draw: node
+    labels must be integers (every generator in this package emits them).
+    """
+    for u, v in graph.edges():
+        graph[u][v][WEIGHT] = hashed_edge_weight(u, v, seed, low=low, high=high, integer=integer)
+    return graph
+
+
 def assign_adversarial_weights(
     graph: nx.Graph,
     spine: list | None = None,

@@ -21,6 +21,8 @@ Examples::
     python -m repro.scenarios --list
     python -m repro.scenarios --size tiny
     python -m repro.scenarios --families planar --algorithms mst --simulator runtime
+    python -m repro.scenarios --families planar --algorithms mst --native \
+        --constructors oblivious --params side=400 --simulator runtime
     python -m repro.scenarios --families planar --algorithms mst \
         --faults drop=0.05,crash=0.01:8 --fault-seed 7
     python -m repro.scenarios --families planar apex --constructors oblivious steiner \
@@ -32,6 +34,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 
 from ..congest.faults import parse_fault_spec
 from ..congest.reference import ReferenceSimulator
@@ -85,6 +88,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--size", default="default", choices=("default", "tiny"), help="instance sizes"
     )
+    parser.add_argument(
+        "--native",
+        action="store_true",
+        help="build instances CSR-first via the families' native builders "
+        "(admits sizes the nx generator path cannot)",
+    )
+    parser.add_argument(
+        "--params",
+        nargs="+",
+        default=None,
+        metavar="KEY=VALUE",
+        help="generator parameter overrides applied to every swept family, "
+        "e.g. --params side=1000",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--num-parts", type=int, default=6, help="parts per instance")
     parser.add_argument(
@@ -120,6 +137,21 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as error:
             parser.error(f"--faults: {error}")
 
+    overrides: dict[str, object] = {}
+    if args.params:
+        for item in args.params:
+            key, sep, raw = item.partition("=")
+            if not sep or not key:
+                parser.error(f"--params entries must look like key=value, got {item!r}")
+            try:
+                value: object = int(raw)
+            except ValueError:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    value = raw
+            overrides[key] = value
+
     cache = InstanceCache()
     scenarios = []
     try:
@@ -132,9 +164,18 @@ def main(argv: list[str] | None = None) -> int:
                 seed=args.seed,
                 parts={"kind": "tree_fragments", "num_parts": args.num_parts},
                 cache=cache,
+                native=args.native,
             ))
-    except KeyError as error:
+    except (KeyError, ValueError) as error:
         parser.error(str(error.args[0]) if error.args else str(error))
+    if overrides:
+        # Overrides land after the applicability probe (applicability is a
+        # family-level property, invariant across sizes); pair them with
+        # --families when the swept families take different parameters.
+        scenarios = [
+            replace(scenario, params={**scenario.params, **overrides})
+            for scenario in scenarios
+        ]
     simulator_cls = {
         "active": CongestSimulator,
         "reference": ReferenceSimulator,

@@ -76,6 +76,9 @@ class Scenario:
         algorithm_params: extra keyword arguments for the algorithm runner
             (e.g. ``{"epsilon": 0.5}`` for min-cut).
         seed: the seed shared by the generator and the workload.
+        native: build the instance CSR-first through the family's
+            ``native_build`` (see :class:`~repro.scenarios.registry.FamilySpec`);
+            this admits sizes the ``nx`` generator path cannot.
     """
 
     name: str
@@ -86,9 +89,10 @@ class Scenario:
     parts: Mapping[str, object] = field(default_factory=lambda: {"kind": "tree_fragments"})
     algorithm_params: Mapping[str, object] = field(default_factory=dict)
     seed: int = 0
+    native: bool = False
 
     def describe(self) -> dict[str, object]:
-        return {
+        described = {
             "scenario": self.name,
             "family": self.family,
             "constructor": self.constructor,
@@ -98,6 +102,10 @@ class Scenario:
             "algorithm_params": dict(self.algorithm_params),
             "seed": self.seed,
         }
+        if self.native:
+            # Only stamped when set, so pre-native records stay byte-identical.
+            described["native"] = True
+        return described
 
 
 @dataclass
@@ -123,6 +131,7 @@ def build_instance(
     params: Mapping[str, object] | None = None,
     seed: int = 0,
     cache: InstanceCache | None = None,
+    native: bool = False,
 ) -> ScenarioInstance:
     """Build (or fetch from ``cache``) one instance of a registered family."""
     spec = family(name)
@@ -130,8 +139,14 @@ def build_instance(
     if params:
         merged.update(params)
     if cache is None:
-        return spec.instantiate(merged, seed=seed)
-    return cache.get(name, merged, seed, lambda: spec.instantiate(merged, seed=seed))
+        return spec.instantiate(merged, seed=seed, native=native)
+    return cache.get(
+        name,
+        merged,
+        seed,
+        lambda: spec.instantiate(merged, seed=seed, native=native),
+        native=native,
+    )
 
 
 def _resolve_faults(faults: FaultModel | str | None) -> FaultModel | None:
@@ -172,7 +187,9 @@ def run_scenario(
     """
     if runtime:
         simulator_cls = RuntimeSimulator
-    instance = build_instance(scenario.family, scenario.params, scenario.seed, cache)
+    instance = build_instance(
+        scenario.family, scenario.params, scenario.seed, cache, native=scenario.native
+    )
     spec = constructor(scenario.constructor)
     record = ScenarioRecord(
         scenario=scenario.describe(),
@@ -214,11 +231,13 @@ def scenario_matrix(
     parts: Mapping[str, object] | None = None,
     algorithm_params: Mapping[str, object] | None = None,
     cache: InstanceCache | None = None,
+    native: bool = False,
 ) -> list[Scenario]:
     """Build the scenario grid: families x constructors (applicable only).
 
     Args:
-        families: family names (default: every registered family).
+        families: family names (default: every registered family, or --
+            with ``native=True`` -- every family carrying a native builder).
         constructors: constructor names to try (default: every registered
             constructor); constructors inapplicable to a family's instance
             are skipped.
@@ -229,18 +248,27 @@ def scenario_matrix(
         algorithm_params: extra algorithm keyword arguments for all cells.
         cache: pass the cache later handed to :func:`run_matrix` so the
             applicability probe instances are built only once.
+        native: build every cell's instance CSR-first (families without a
+            ``native_build`` fail loudly when named explicitly).
     """
     if size not in ("default", "tiny"):
         raise ValueError(f"size must be 'default' or 'tiny', got {size!r}")
     if constructors is not None:
         for name in constructors:
             constructor(name)  # typo'd names fail loudly, not as an empty sweep
-    chosen = list(families) if families is not None else family_names()
+    if families is not None:
+        chosen = list(families)
+    elif native:
+        chosen = [
+            name for name in family_names() if family(name).native_build is not None
+        ]
+    else:
+        chosen = family_names()
     scenarios: list[Scenario] = []
     for family_name in chosen:
         spec = family(family_name)
         params = dict(spec.tiny_params if size == "tiny" else spec.default_params)
-        probe = build_instance(family_name, params, seed, cache)
+        probe = build_instance(family_name, params, seed, cache, native=native)
         names = applicable_constructors(probe)
         if constructors is not None:
             names = [name for name in constructors if name in names]
@@ -254,6 +282,7 @@ def scenario_matrix(
                 parts=dict(parts) if parts is not None else {"kind": "tree_fragments"},
                 algorithm_params=dict(algorithm_params) if algorithm_params else {},
                 seed=seed,
+                native=native,
             ))
     return scenarios
 

@@ -139,22 +139,28 @@ class ConstructionEngine:
         epoch = scratch.epoch
         for part_index, members in self.part_set.iter_members():
             epoch += 1
-            marked: list[int] = []
+            # The Steiner tree is the ancestor closure of the terminals
+            # restricted to the subtree of their LCA, which in DFS order is
+            # the LCA of the extreme-tin members (the sorted tin views make
+            # those the first and last entries).  Computing the subtree's tin
+            # interval *first* lets every root-walk stop at parent(top)
+            # instead of climbing to the root: ancestors of a member are
+            # either inside subtree(top) (tin >= low) or proper ancestors of
+            # top (tin < low), so the marked set is exactly the old
+            # ancestor-closure intersected with the interval -- and singleton
+            # parts, the bulk of Boruvka's first phase, cost O(1) instead of
+            # O(tree depth).
+            by_tin = members_by_tin[part_index]
+            top = self.euler.lca(by_tin[0], by_tin[-1])
+            low = tin[top]
+            kept: list[int] = []
             for member in members:
                 member_stamp[member] = epoch
                 node = member
-                while node >= 0 and mark_stamp[node] != epoch:
+                while node >= 0 and mark_stamp[node] != epoch and tin[node] >= low:
                     mark_stamp[node] = epoch
-                    marked.append(node)
+                    kept.append(node)
                     node = parent[node]
-            # The Steiner tree is the marked (ancestor-closure) set restricted
-            # to the subtree of the terminals' LCA, which in DFS order is the
-            # LCA of the extreme-tin members (the sorted tin views make those
-            # the first and last entries).
-            by_tin = members_by_tin[part_index]
-            top = self.euler.lca(by_tin[0], by_tin[-1])
-            low, high = tin[top], self.euler.tout[top]
-            kept = [node for node in marked if low <= tin[node] <= high]
             # One accumulation pass in decreasing tin order: children are
             # processed before their parents, so acc[node] is the number of
             # part vertices in the Steiner subtree below node -- equal to the

@@ -17,14 +17,14 @@ from typing import Hashable, Sequence
 
 import networkx as nx
 
-from ..core import core_enabled, part_connected, part_set_of, view_of
+from ..core import GraphView, core_enabled, part_connected, part_set_of, view_of
 from ..errors import InvalidPartitionError
 from ..graphs.weights import WEIGHT
 from ..structure.spanning import RootedTree, bfs_spanning_tree
 from ..utils import ensure_rng
 
 
-def validate_parts(graph: nx.Graph, parts: Sequence[frozenset]) -> None:
+def validate_parts(graph: nx.Graph | GraphView, parts: Sequence[frozenset]) -> None:
     """Check Definition 9: parts are disjoint, non-empty and connected in ``graph``.
 
     Connectivity runs on the memoised int-indexed
@@ -35,7 +35,13 @@ def validate_parts(graph: nx.Graph, parts: Sequence[frozenset]) -> None:
     family-wide part set cannot be built because a later part has
     non-graph vertices, the core path falls back to per-part BFS so the
     per-part check order is preserved.
+
+    Given a :class:`~repro.core.GraphView` the check runs entirely on the
+    CSR arrays (never materialising an ``nx.Graph``), regardless of the
+    reference-path flag -- native views are exactly the instances too large
+    to convert.
     """
+    view = graph if isinstance(graph, GraphView) else None
     part_set = None
     part_set_failed = False
     nodes = None
@@ -50,22 +56,26 @@ def validate_parts(graph: nx.Graph, parts: Sequence[frozenset]) -> None:
             )
         seen |= set(part)
         if nodes is None:
-            nodes = set(graph.nodes())
+            nodes = set(view.nodes) if view is not None else set(graph.nodes())
         missing = set(part) - nodes
         if missing:
             raise InvalidPartitionError(
                 f"part {index} contains non-graph vertices {sorted(missing, key=repr)[:5]}"
             )
-        if core_enabled():
+        if view is not None or core_enabled():
             if part_set is None and not part_set_failed:
                 try:
-                    part_set = part_set_of(view_of(graph), parts)
+                    part_set = part_set_of(
+                        view if view is not None else view_of(graph), parts
+                    )
                 except InvalidPartitionError:
                     part_set_failed = True
             if part_set is not None:
                 connected = part_set.connected(index)
             else:
-                connected = part_connected(view_of(graph), part)
+                connected = part_connected(
+                    view if view is not None else view_of(graph), part
+                )
         else:
             connected = nx.is_connected(graph.subgraph(part))
         if not connected:
@@ -113,7 +123,7 @@ def random_connected_parts(
 
 
 def tree_fragment_parts(
-    graph: nx.Graph,
+    graph: nx.Graph | GraphView,
     tree: RootedTree | None = None,
     num_parts: int = 8,
     seed: int | random.Random | None = None,
@@ -124,6 +134,12 @@ def tree_fragment_parts(
     ``num_parts`` subtrees; each is connected in the graph (it is connected
     already in the tree) and together they cover every vertex.  This is the
     canonical "fragments of a partially built spanning forest" workload.
+
+    Given a :class:`~repro.core.GraphView` the whole computation is nx-free:
+    the cut edges are sampled from the same canonical sorted edge list (so
+    the rng draws are identical), and the forest components come from a
+    union-find over the surviving parent edges instead of
+    ``nx.connected_components`` -- the resulting parts are equal as sets.
     """
     rng = ensure_rng(seed)
     tree = tree if tree is not None else bfs_spanning_tree(graph)
@@ -132,12 +148,42 @@ def tree_fragment_parts(
         raise InvalidPartitionError("num_parts must be positive")
     cuts = min(num_parts - 1, len(edges))
     removed = rng.sample(edges, cuts) if cuts else []
-    forest = tree.as_graph()
-    forest.remove_edges_from(removed)
-    parts = [frozenset(component) for component in nx.connected_components(forest)]
+    if isinstance(graph, GraphView):
+        parts = _forest_components(tree, removed)
+    else:
+        forest = tree.as_graph()
+        forest.remove_edges_from(removed)
+        parts = [frozenset(component) for component in nx.connected_components(forest)]
     parts.sort(key=lambda part: min(map(repr, part)))
     validate_parts(graph, parts)
     return parts
+
+
+def _forest_components(tree: RootedTree, removed: Sequence[tuple]) -> list[frozenset]:
+    """Components of the tree minus ``removed`` edges, via union-find."""
+    from ..utils import canonical_edge
+
+    cut = set(removed)
+    leader: dict[Hashable, Hashable] = {node: node for node in tree.parent}
+
+    def find(node: Hashable) -> Hashable:
+        root = node
+        while leader[root] != root:
+            root = leader[root]
+        while leader[node] != root:
+            leader[node], node = root, leader[node]
+        return root
+
+    for node, par in tree.parent.items():
+        if par is None or canonical_edge(node, par) in cut:
+            continue
+        ru, rv = find(node), find(par)
+        if ru != rv:
+            leader[ru] = rv
+    groups: dict[Hashable, set[Hashable]] = {}
+    for node in tree.parent:
+        groups.setdefault(find(node), set()).add(node)
+    return [frozenset(group) for group in groups.values()]
 
 
 def path_parts(
@@ -215,6 +261,7 @@ def boruvka_parts(
     return parts
 
 
-def singleton_parts(graph: nx.Graph) -> list[frozenset]:
+def singleton_parts(graph: nx.Graph | GraphView) -> list[frozenset]:
     """Return one singleton part per vertex (the phase-0 Boruvka fragments)."""
-    return [frozenset({v}) for v in sorted(graph.nodes(), key=repr)]
+    nodes = graph.nodes if isinstance(graph, GraphView) else graph.nodes()
+    return [frozenset({v}) for v in sorted(nodes, key=repr)]

@@ -322,8 +322,17 @@ class RootedTree:
         root = min(keep_set, key=repr)
         return bfs_spanning_tree(quotient, root=root)
 
-    def validate(self, graph: nx.Graph | None = None) -> None:
-        """Check that this is a spanning tree of ``graph`` (if provided)."""
+    def validate(self, graph: nx.Graph | GraphView | None = None) -> None:
+        """Check that this is a spanning tree of ``graph`` (if provided).
+
+        Passing a :class:`~repro.core.GraphView` runs the nx-free twin of
+        the check (vertex-set equality, edge count, connectivity from the
+        root, every tree edge a CSR edge) -- the million-node native
+        pipeline validates its BFS trees without building any ``nx.Graph``.
+        """
+        if isinstance(graph, GraphView):
+            self._validate_native(graph)
+            return
         tree_graph = self.as_graph()
         if tree_graph.number_of_edges() != tree_graph.number_of_nodes() - 1:
             raise InvalidGraphError("rooted tree has the wrong number of edges")
@@ -335,6 +344,33 @@ class RootedTree:
             for u, v in tree_graph.edges():
                 if not graph.has_edge(u, v):
                     raise InvalidGraphError(f"tree edge ({u}, {v}) is not a graph edge")
+
+    def _validate_native(self, view: GraphView) -> None:
+        """The :class:`GraphView` twin of :meth:`validate` (same error texts)."""
+        parent = self.parent
+        if set(parent) != set(view.nodes):
+            raise InvalidGraphError("tree does not span the graph's vertex set")
+        core = view.core
+        index_of = view.index_of
+        children: dict[Hashable, list[Hashable]] = {}
+        edge_count = 0
+        for node, par in parent.items():
+            if par is None:
+                continue
+            edge_count += 1
+            if not core.has_edge(index_of(node), index_of(par)):
+                raise InvalidGraphError(f"tree edge ({node}, {par}) is not a graph edge")
+            children.setdefault(par, []).append(node)
+        if edge_count != len(parent) - 1:
+            raise InvalidGraphError("rooted tree has the wrong number of edges")
+        reached = 1
+        stack = [self.root]
+        while stack:
+            for child in children.get(stack.pop(), ()):
+                reached += 1
+                stack.append(child)
+        if reached != len(parent):
+            raise InvalidGraphError("rooted tree is not connected")
 
 
 class EulerTourIndex:

@@ -270,3 +270,82 @@ def test_cli_rejects_empty_family_filter(capsys):
     with pytest.raises(SystemExit):
         scenarios_main(["--families"])
     assert "expected at least one argument" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------- native path
+
+
+def test_build_instance_native_matches_classic_structure():
+    native = build_instance("planar", {"side": 7}, seed=3, native=True)
+    classic = build_instance("planar", {"side": 7}, seed=3)
+    assert native.native and not classic.native
+    assert native.view.nodes == classic.view.nodes
+    assert native.view.core.indptr.tolist() == classic.view.core.indptr.tolist()
+    assert native.view.core.indices.tolist() == classic.view.core.indices.tolist()
+    assert native.num_nodes == classic.num_nodes == 49
+    assert native.num_edges == classic.num_edges
+    # Same spanning tree and parts, derived nx-free on the native side.
+    assert native.tree.parent == classic.tree.parent
+    assert native.parts("tree_fragments", num_parts=4) == classic.parts(
+        "tree_fragments", num_parts=4
+    )
+
+
+def test_instance_cache_keys_native_separately():
+    cache = InstanceCache()
+    native = build_instance("planar", {"side": 5}, seed=1, cache=cache, native=True)
+    classic = build_instance("planar", {"side": 5}, seed=1, cache=cache)
+    assert native is not classic
+    assert build_instance("planar", {"side": 5}, seed=1, cache=cache, native=True) is native
+
+
+def test_instantiate_native_without_builder_raises():
+    with pytest.raises(ValueError, match="no native"):
+        family("treewidth").instantiate(seed=0, native=True)
+
+
+def test_run_scenario_native_mst_is_nx_free_and_oracle_checked():
+    from repro.core import nx_materializations
+
+    scenario = Scenario(
+        name="nm", family="planar", constructor="oblivious", algorithm="mst",
+        params={"side": 6}, seed=2, native=True,
+    )
+    before = nx_materializations()
+    record = run_scenario(scenario).as_dict()
+    assert nx_materializations() == before
+    assert record["native"] is True
+    assert record["applicable"] is True
+    assert record["instance"]["n"] == 36
+    result = record["result"]
+    assert result["weight_matches_reference"]
+    assert result["mst_rounds"] > 0
+    assert result["sim_rounds"] > 0
+
+
+def test_classic_records_do_not_carry_a_native_key():
+    record = run_scenario(Scenario(
+        name="c", family="planar", constructor="planar", params={"side": 5}, seed=1,
+    )).as_dict()
+    assert "native" not in record
+
+
+def test_scenario_matrix_native_defaults_to_native_capable_families():
+    scenarios = scenario_matrix(algorithm_name="quality", size="tiny", native=True)
+    assert scenarios, "at least one family must have a native builder"
+    assert {scenario.family for scenario in scenarios} == {"planar"}
+    assert all(scenario.native for scenario in scenarios)
+
+
+def test_cli_native_sweep_with_param_override(tmp_path):
+    output = tmp_path / "records.json"
+    code = scenarios_main([
+        "--families", "planar", "--constructors", "oblivious",
+        "--algorithms", "mst", "--native", "--params", "side=6",
+        "--output", str(output),
+    ])
+    assert code == 0
+    records = json.loads(output.read_text())
+    assert records and all(record["applicable"] for record in records)
+    assert all(record["native"] for record in records)
+    assert all(record["instance"]["n"] == 36 for record in records)
